@@ -1,0 +1,36 @@
+"""ABL6 — interface-memory page-size sweep.
+
+The prototype fixes 2 KB pages (8 frames in 16 KB).  This sweep keeps
+the DP-RAM capacity constant and varies the page size, exposing the
+classic virtual-memory trade-off on the interface memory: small pages
+fault often (every fault is an OS round-trip), large pages fault
+rarely but copy coarsely and leave fewer frames to allocate.  The
+expected shape is a U with the paper's 2 KB at or near the bottom.
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import ablation_page_size
+from repro.analysis.tables import format_table
+
+
+def test_abl6_page_size(benchmark):
+    rows = benchmark.pedantic(ablation_page_size, rounds=1, iterations=1)
+    emit(
+        "ABL6: page-size sweep on adpcm-8KB (16 KB DP-RAM)",
+        format_table(
+            ["page size", "total ms", "faults", "SW(DP) ms", "SW(IMU) ms"],
+            [[r.label, r.total_ms, r.page_faults, r.sw_dp_ms, r.sw_imu_ms]
+             for r in rows],
+        ),
+    )
+    by_label = {r.label: r for r in rows}
+    # Fault count falls monotonically with page size.
+    faults = [r.page_faults for r in rows]
+    assert faults == sorted(faults, reverse=True)
+    # The paper's 2 KB choice is the fastest configuration of the sweep.
+    best = min(rows, key=lambda r: r.total_ms)
+    assert best.label == "2048B"
+    # Tiny pages pay measurably more OS time.
+    assert by_label["512B"].sw_imu_ms > by_label["2048B"].sw_imu_ms
+    benchmark.extra_info["faults"] = {r.label: r.page_faults for r in rows}

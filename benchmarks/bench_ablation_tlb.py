@@ -1,0 +1,38 @@
+"""ABL5 — TLB capacity sensitivity.
+
+The prototype sizes its TLB to one entry per DP-RAM page.  This sweep
+shrinks the TLB below the frame count, which forces translation-only
+faults for pages that are still resident — quantifying how much of the
+paper's design rests on the full-size CAM.
+"""
+
+from conftest import emit
+
+from repro.analysis.experiments import ablation_tlb_capacity
+from repro.analysis.tables import format_table
+from repro.core.drivers import adpcm_workload
+
+
+def test_abl5_tlb_capacity(benchmark):
+    rows = benchmark.pedantic(
+        ablation_tlb_capacity,
+        kwargs={
+            "workload": adpcm_workload(4 * 1024),
+            "capacities": (2, 4, 8),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "ABL5: TLB capacity sweep on adpcm-4KB (8 DP-RAM pages)",
+        format_table(
+            ["config", "total ms", "faults"],
+            [[r.label, r.total_ms, r.page_faults] for r in rows],
+        ),
+    )
+    two, four, eight = rows
+    # Fewer TLB entries -> monotonically more faults and more time.
+    assert two.page_faults >= four.page_faults >= eight.page_faults
+    assert two.page_faults > eight.page_faults
+    assert two.total_ms > eight.total_ms
+    benchmark.extra_info["faults"] = {r.label: r.page_faults for r in rows}

@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one artefact of the paper's evaluation and
+prints the corresponding rows (run ``pytest benchmarks/
+--benchmark-only -s`` to see them inline).  Simulated executions are
+deterministic, so each figure driver runs exactly once
+(``benchmark.pedantic(rounds=1)``) — the benchmark clock then reports
+the harness's wall time, and the *simulated* milliseconds live in the
+printed tables and in ``benchmark.extra_info``.
+"""
+
+from __future__ import annotations
+
+
+def emit(title: str, body: str) -> None:
+    """Print a titled block (visible with -s / on failure)."""
+    print(f"\n=== {title} ===")
+    print(body)

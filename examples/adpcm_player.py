@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""ADPCM decode offload — the paper's multimedia workload (Figure 8).
+
+Simulates a media application decoding compressed audio through the
+VIM-based coprocessor at several stream sizes, printing the paper-style
+stacked decomposition and the speedup over pure software.  Note how the
+application code (the workload spec) never changes as the stream
+outgrows the 16 KB dual-port RAM — the OS absorbs the difference.
+
+Run:  python examples/adpcm_player.py
+"""
+
+from repro import System, adpcm_workload, run_software, run_vim
+from repro.analysis.charts import stacked_bar_chart
+from repro.apps import adpcm
+
+SIZES_KB = (2, 4, 8, 16)
+
+
+def main() -> None:
+    print("ADPCM decode: software vs VIM-based coprocessor (EPXA1)\n")
+    bars = []
+    for kb in SIZES_KB:
+        workload = adpcm_workload(kb * 1024, seed=kb)
+        sw = run_software(System(), workload)
+        hw = run_vim(System(), workload)
+        hw.verify()
+        meas = hw.measurement
+        samples = kb * 1024 * 2
+        print(
+            f"{kb:3d} KB in -> {kb * adpcm.OUTPUT_EXPANSION:3d} KB out "
+            f"({samples} samples): SW {sw.total_ms:7.3f} ms, "
+            f"VIM {hw.total_ms:7.3f} ms "
+            f"({meas.speedup_over(sw.measurement):.2f}x, "
+            f"{meas.counters.page_faults} faults)"
+        )
+        bars.append(
+            (
+                f"{kb}KB",
+                {
+                    "hw": meas.hw_ps / 1e9,
+                    "sw_dp": meas.sw_dp_ps / 1e9,
+                    "sw_imu": meas.sw_imu_ps / 1e9,
+                },
+            )
+        )
+    print("\nVIM-based execution time decomposition (cf. Figure 8):")
+    print(stacked_bar_chart(bars))
+    print(
+        "\nNo faults at 2 KB (everything fits the dual-port RAM); from"
+        "\n4 KB onwards the VIM pages data in and out on demand, and the"
+        "\nspeedup is only moderately affected — the paper's conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""IDEA encryption offload — the paper's crypto workload (Figure 9).
+
+Encrypts messages of growing size on the coprocessor, comparing the
+*typical* hand-integrated engine against the VIM-based one.  The
+typical version dies with ``CapacityError`` as soon as plaintext plus
+ciphertext exceed the 16 KB dual-port RAM — the VIM version keeps
+going, unchanged, at ~11x over software.  The decrypt check at the end
+closes the loop with the software key schedule.
+
+Run:  python examples/idea_encrypt.py
+"""
+
+from repro import System, idea_workload, run_software, run_typical, run_vim
+from repro.apps import idea, workloads
+from repro.errors import CapacityError
+
+SIZES_KB = (4, 8, 16, 32)
+
+
+def main() -> None:
+    print("IDEA encryption: typical vs VIM-based coprocessor (EPXA1)\n")
+    for kb in SIZES_KB:
+        workload = idea_workload(kb * 1024, seed=kb)
+        sw = run_software(System(), workload)
+        vim = run_vim(System(), workload)
+        vim.verify()
+        try:
+            typical = run_typical(System(), workload)
+            typical.verify()
+            typical_text = (
+                f"{typical.total_ms:7.3f} ms "
+                f"({typical.measurement.speedup_over(sw.measurement):5.1f}x)"
+            )
+        except CapacityError:
+            typical_text = "exceeds available memory      "
+        print(
+            f"{kb:3d} KB: SW {sw.total_ms:8.3f} ms | "
+            f"typical {typical_text} | "
+            f"VIM {vim.total_ms:7.3f} ms "
+            f"({vim.measurement.speedup_over(sw.measurement):5.1f}x, "
+            f"{vim.measurement.counters.page_faults} faults)"
+        )
+
+    # Close the loop: decrypt the coprocessor's output in software.
+    workload = idea_workload(4 * 1024, seed=4)
+    vim = run_vim(System(), workload)
+    key = workloads.idea_key(seed=4)
+    recovered = idea.decrypt(vim.outputs[1], key)
+    assert recovered == workload.objects[0].data
+    print(
+        "\nDecrypting the coprocessor's ciphertext in software recovers"
+        "\nthe plaintext bit-exactly: hardware and software agree on the"
+        "\ncipher, they only differ in who does the work."
+    )
+
+
+if __name__ == "__main__":
+    main()

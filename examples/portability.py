@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Portability — the same binaries across the Excalibur family (§4).
+
+The paper: porting to a device with a different dual-port memory
+"would require only recompiling the module.  The user application would
+immediately benefit without need to recompile."  Here the *identical*
+workload objects (the C-side mapping calls and the core FSM) run on
+EPXA1, EPXA4 and EPXA10; only the SoC description differs, and the
+fault behaviour adapts automatically.
+
+Run:  python examples/portability.py
+"""
+
+from repro import PRESETS, System, adpcm_workload, idea_workload, run_vim
+
+
+def main() -> None:
+    print("Same application + same coprocessor, three devices:\n")
+    for workload in (adpcm_workload(8 * 1024), idea_workload(32 * 1024)):
+        print(f"{workload.name} ({workload.total_bytes // 1024} KB working set)")
+        for soc in PRESETS.values():
+            result = run_vim(System(soc), workload)
+            result.verify()
+            meas = result.measurement
+            print(
+                f"  {soc.name:7s} ({soc.dpram_bytes // 1024:3d} KB DP-RAM, "
+                f"{soc.num_pages:2d} pages): {result.total_ms:7.3f} ms, "
+                f"{meas.counters.page_faults:3d} faults, "
+                f"SW(DP) {meas.sw_dp_ps / 1e9:6.3f} ms"
+            )
+        print()
+    print(
+        "Neither the application's mapping calls nor the coprocessor FSM"
+        "\nchanged between rows; the OS module is simply 'recompiled' with"
+        "\nthe new platform constants — the paper's portability claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Quickstart — the paper's motivating example (Figure 3), all three ways.
+
+Runs ``C[i] = A[i] + B[i]`` as:
+
+1. the pure software version,
+2. the *typical coprocessor* version, with the explicit chunking loop a
+   programmer must write when the dataset exceeds the dual-port memory
+   (the middle excerpt of Figure 3),
+3. the VIM-based version — two ``FPGA_MAP_OBJECT`` calls and one
+   ``FPGA_EXECUTE``, no knowledge of the memory size.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    Direction,
+    ObjectSpec,
+    System,
+    WorkloadSpec,
+    run_software,
+    run_typical,
+    run_vim,
+    vector_add_workload,
+)
+from repro.apps import vectors
+from repro.coproc.kernels import vector_add as vadd_core
+
+#: 2048 elements x 4 bytes x 3 vectors = 24 KB: more than the EPXA1's
+#: 16 KB dual-port RAM, so the typical version *must* chunk.
+NUM_ELEMENTS = 2048
+
+
+def run_typical_chunked(workload: WorkloadSpec) -> tuple[bytes, float]:
+    """The Figure 3 middle version: explicit, platform-aware chunking.
+
+    The programmer splits the vectors so that one chunk of A, B and C
+    fits the dual-port RAM at once — exactly the burden ("unnecessary
+    platform-related details") the VIM removes.
+    """
+    system = System()
+    data_chunk = system.dpram.size // 3 // 4 // 256 * 256  # elements
+    a_spec, b_spec, c_spec = workload.objects
+    a = np.frombuffer(a_spec.data, dtype="<u4")
+    b = np.frombuffer(b_spec.data, dtype="<u4")
+    out = np.zeros(len(a), dtype="<u4")
+    total_ms = 0.0
+    data_pt = 0
+    while data_pt < len(a):
+        count = min(data_chunk, len(a) - data_pt)
+        chunk = WorkloadSpec(
+            name=f"add-chunk@{data_pt}",
+            bitstream=workload.bitstream,
+            objects=(
+                ObjectSpec(0, "A", Direction.IN, count * 4,
+                           a[data_pt : data_pt + count].tobytes()),
+                ObjectSpec(1, "B", Direction.IN, count * 4,
+                           b[data_pt : data_pt + count].tobytes()),
+                ObjectSpec(2, "C", Direction.OUT, count * 4),
+            ),
+            params=(count,),
+            sw_cycles=vectors.sw_cycles(count),
+            reference=lambda: {},
+        )
+        result = run_typical(system, chunk)
+        out[data_pt : data_pt + count] = np.frombuffer(
+            result.outputs[2], dtype="<u4"
+        )
+        total_ms += result.total_ms
+        data_pt += count
+    return out.tobytes(), total_ms
+
+
+def main() -> None:
+    workload = vector_add_workload(NUM_ELEMENTS, seed=42)
+    print(f"add_vectors over {NUM_ELEMENTS} elements "
+          f"({workload.total_bytes // 1024} KB working set, 16 KB DP-RAM)\n")
+
+    sw = run_software(System(), workload)
+    sw.verify()
+    print(f"1. pure software        : {sw.total_ms:8.3f} ms")
+
+    chunked_output, chunked_ms = run_typical_chunked(workload)
+    assert chunked_output == workload.reference()[2], "chunked output differs!"
+    print(f"2. typical coprocessor  : {chunked_ms:8.3f} ms   "
+          "(hand-written chunking loop)")
+
+    vim = run_vim(System(), workload)
+    vim.verify()
+    meas = vim.measurement
+    print(f"3. VIM-based coprocessor: {vim.total_ms:8.3f} ms   "
+          f"(zero platform knowledge; {meas.counters.page_faults} page faults "
+          "handled by the OS)")
+
+    print("\nVIM time decomposition:")
+    print(f"   hardware (core + IMU) : {meas.hw_ps / 1e9:8.3f} ms")
+    print(f"   OS, DP-RAM management : {meas.sw_dp_ps / 1e9:8.3f} ms")
+    print(f"   OS, IMU management    : {meas.sw_imu_ps / 1e9:8.3f} ms")
+    print(f"   OS, plumbing          : {meas.sw_other_ps / 1e9:8.3f} ms")
+    print("\nAll three versions produced bit-identical results.")
+
+
+if __name__ == "__main__":
+    main()

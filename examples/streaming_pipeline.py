@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Streaming media pipeline — repeated FPGA_EXECUTE over one session.
+
+§3.3: after end-of-operation handling "the coprocessor should be ready
+and waiting for new execution, if another FPGA_EXECUTE call appears."
+This example behaves like a real media application: it keeps one
+coprocessor session open and pushes a long ADPCM stream through it in
+chunks, refilling the same mapped input buffer between ``execute``
+calls — the bit-stream is configured once, objects are mapped once.
+
+It also shows the two §3.1/§3.3 optimisation hints: the input is
+mapped with ``Hint.STREAM`` (the VIM prefetches its next page on every
+fault for it) and a comparison run shows the fault reduction.
+
+Run:  python examples/streaming_pipeline.py
+"""
+
+from repro import CoprocessorSession, Hint, System
+from repro.apps import adpcm, workloads
+from repro.coproc.kernels import adpcm as adpcm_core
+
+CHUNK = 4 * 1024          # bytes of ADPCM per FPGA_EXECUTE; with the 4x
+                          # output this working set outgrows the 16 KB
+                          # DP-RAM, so every chunk faults
+NUM_CHUNKS = 6            # 24 KB stream in total
+
+
+def decode_stream(hints: Hint) -> tuple[float, int, int]:
+    """Decode the whole stream chunk by chunk; return (ms, faults, pf)."""
+    stream = workloads.adpcm_stream(CHUNK * NUM_CHUNKS, seed=11)
+    total_ms = 0.0
+    faults = 0
+    prefetches = 0
+    with CoprocessorSession(System(), adpcm_core.bitstream()) as session:
+        # Both sides of the pipeline are strictly sequential, so the
+        # hint (when given) applies to input and output alike.
+        src = session.map_input(0, "adpcm_in", stream[:CHUNK], hints=hints)
+        session.map_output(1, "pcm_out", 4 * CHUNK, hints=hints)
+        for index in range(NUM_CHUNKS):
+            chunk = stream[index * CHUNK : (index + 1) * CHUNK]
+            src.fill_from(chunk)
+            result = session.execute([CHUNK], label=f"chunk-{index}")
+            expected = adpcm.decode(chunk).astype("<i2").tobytes()
+            assert result.outputs[1] == expected, f"chunk {index} corrupt"
+            total_ms += result.total_ms
+            faults += result.measurement.counters.page_faults
+            prefetches += result.measurement.counters.prefetches
+        configured = session.system.fabric.configurations
+    assert configured == 1, "bit-stream must be configured exactly once"
+    return total_ms, faults, prefetches
+
+
+def main() -> None:
+    print(
+        f"Decoding {CHUNK * NUM_CHUNKS // 1024} KB of ADPCM in "
+        f"{NUM_CHUNKS} chunks over ONE session (one FPGA_LOAD, "
+        f"{NUM_CHUNKS} FPGA_EXECUTEs)\n"
+    )
+    plain_ms, plain_faults, _ = decode_stream(Hint.NONE)
+    print(f"no hints    : {plain_ms:7.3f} ms, {plain_faults} page faults")
+    hint_ms, hint_faults, prefetches = decode_stream(Hint.STREAM)
+    print(
+        f"Hint.STREAM : {hint_ms:7.3f} ms, {hint_faults} page faults "
+        f"({prefetches} pages prefetched by the VIM)"
+    )
+    print(
+        "\nEvery chunk decoded bit-exactly; the application never"
+        "\nreconfigured the fabric, remapped an object, or mentioned the"
+        "\ndual-port memory."
+    )
+
+
+if __name__ == "__main__":
+    main()

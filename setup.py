@@ -1,0 +1,14 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets is fully offline and may
+lack the ``wheel`` package, in which case PEP 517 editable installs
+fail with ``invalid command 'bdist_wheel'``.  With this shim,
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on older pips) falls back to ``setup.py develop``,
+which needs nothing beyond setuptools.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""Analysis layer: experiment drivers, tables, ASCII charts."""
+
+from repro.analysis.charts import bar_chart, stacked_bar_chart
+from repro.analysis.experiments import (
+    AblationRow,
+    AppRow,
+    Figure7Result,
+    PortabilityRow,
+    TranslationOverheadResult,
+    ablation_page_size,
+    ablation_pipelined,
+    ablation_policies,
+    ablation_prefetch,
+    ablation_tlb_capacity,
+    ablation_transfers,
+    figure7,
+    figure8,
+    figure9,
+    imu_overhead_rows,
+    portability,
+    translation_overhead,
+)
+from repro.analysis.tables import format_table, markdown_table
+
+__all__ = [
+    "AblationRow",
+    "AppRow",
+    "Figure7Result",
+    "PortabilityRow",
+    "TranslationOverheadResult",
+    "ablation_page_size",
+    "ablation_pipelined",
+    "ablation_policies",
+    "ablation_prefetch",
+    "ablation_tlb_capacity",
+    "ablation_transfers",
+    "bar_chart",
+    "figure7",
+    "figure8",
+    "figure9",
+    "format_table",
+    "imu_overhead_rows",
+    "markdown_table",
+    "portability",
+    "stacked_bar_chart",
+    "translation_overhead",
+]

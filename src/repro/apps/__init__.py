@@ -1,0 +1,5 @@
+"""Software reference applications and workload generators."""
+
+from repro.apps import adpcm, idea, vectors, workloads
+
+__all__ = ["adpcm", "idea", "vectors", "workloads"]

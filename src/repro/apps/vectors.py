@@ -1,0 +1,30 @@
+"""Vector addition — the paper's motivating example (Figures 3, 5, 6).
+
+``C[i] = A[i] + B[i]`` over 32-bit words.  Trivial on purpose: the
+point of the example is the *interface*, not the computation, and the
+three program versions of Figure 3 (pure software, typical coprocessor
+with explicit chunking, VIM-based) are reproduced around this kernel in
+``examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Software cost on the 133 MHz ARM, cycles per element: two loads, an
+#: add, a store and loop overhead.
+SW_CYCLES_PER_ELEMENT = 10
+
+
+def add_vectors(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise uint32 addition (wrapping, like the hardware)."""
+    if a.shape != b.shape:
+        raise ReproError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return (a.astype(np.uint32) + b.astype(np.uint32)).astype(np.uint32)
+
+
+def sw_cycles(num_elements: int) -> int:
+    """ARM cycles for the pure-software vector addition."""
+    return num_elements * SW_CYCLES_PER_ELEMENT

@@ -1,0 +1,188 @@
+"""Command-line interface: regenerate any paper artefact from a shell.
+
+Usage::
+
+    python -m repro fig7                  # Figure 7 waveform
+    python -m repro fig8                  # Figure 8 table + bars
+    python -m repro fig9                  # Figure 9 table
+    python -m repro overheads             # §4.1 claims
+    python -m repro ablations [NAME]      # one or all ablations
+    python -m repro portability           # EPXA1/4/10 sweep
+    python -m repro run adpcm --kb 8      # one workload, all versions
+
+The heavy lifting lives in :mod:`repro.analysis.experiments`; the CLI
+is a formatting shell around it, so everything printed here is also
+unit-tested.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from repro.analysis import experiments as exp
+from repro.analysis.charts import stacked_bar_chart
+from repro.analysis.tables import format_table
+from repro.core.drivers import adpcm_workload, idea_workload, vector_add_workload
+from repro.core.runner import run_software, run_typical, run_vim
+from repro.core.system import System
+from repro.errors import CapacityError, ReproError
+
+#: Ablation registry: name -> (driver, row headers, row formatter).
+_ABLATIONS: dict[str, Callable] = {
+    "pipeline": exp.ablation_pipelined,
+    "policies": exp.ablation_policies,
+    "transfers": exp.ablation_transfers,
+    "prefetch": exp.ablation_prefetch,
+    "tlb": exp.ablation_tlb_capacity,
+    "pagesize": exp.ablation_page_size,
+}
+
+
+def _print_fig7(args: argparse.Namespace) -> None:
+    result = exp.figure7(pipelined=args.pipelined)
+    print(result.diagram)
+    print(f"\ndata ready on rising edge {result.data_ready_edge} (paper: 4)")
+
+
+def _print_fig8(args: argparse.Namespace) -> None:
+    rows = exp.figure8(tuple(args.kb))
+    print(format_table(
+        ["input", "SW ms", "VIM ms", "HW ms", "SW(DP) ms", "SW(IMU) ms",
+         "speedup", "faults"],
+        [[r.label, r.sw_ms, r.vim_ms, r.hw_ms, r.sw_dp_ms, r.sw_imu_ms,
+          r.vim_speedup, r.page_faults] for r in rows],
+    ))
+    print()
+    print(stacked_bar_chart(
+        [(r.label, {"hw": r.hw_ms, "sw_dp": r.sw_dp_ms, "sw_imu": r.sw_imu_ms})
+         for r in rows]
+    ))
+
+
+def _print_fig9(args: argparse.Namespace) -> None:
+    rows = exp.figure9(tuple(args.kb))
+    print(format_table(
+        ["input", "SW ms", "typical ms", "typical x", "VIM ms", "VIM x",
+         "faults"],
+        [[r.label, r.sw_ms,
+          r.typical_ms if r.typical_fits else "exceeds memory",
+          r.typical_speedup if r.typical_fits else "-",
+          r.vim_ms, r.vim_speedup, r.page_faults] for r in rows],
+    ))
+
+
+def _print_overheads(args: argparse.Namespace) -> None:
+    rows = exp.imu_overhead_rows()
+    print(format_table(
+        ["point", "SW(IMU)/total"],
+        [[label, f"{fraction * 100:.2f}%"] for label, fraction in rows],
+    ))
+    result = exp.translation_overhead()
+    print(f"\nIDEA translation overhead: {result.overhead_fraction * 100:.1f}% "
+          "of hardware time (paper: ~20%)")
+
+
+def _print_ablations(args: argparse.Namespace) -> None:
+    names = [args.name] if args.name else sorted(_ABLATIONS)
+    for name in names:
+        driver = _ABLATIONS.get(name)
+        if driver is None:
+            raise ReproError(
+                f"unknown ablation {name!r}; choices: {sorted(_ABLATIONS)}"
+            )
+        rows = driver()
+        print(f"\nablation: {name}")
+        print(format_table(
+            ["config", "total ms", "hw ms", "SW(DP) ms", "faults", "prefetches"],
+            [[r.label, r.total_ms, r.hw_ms, r.sw_dp_ms, r.page_faults,
+              r.prefetches] for r in rows],
+        ))
+
+
+def _print_portability(args: argparse.Namespace) -> None:
+    rows = exp.portability()
+    print(format_table(
+        ["SoC", "DP-RAM KB", "total ms", "faults"],
+        [[r.soc, r.dpram_kb, r.total_ms, r.page_faults] for r in rows],
+    ))
+
+
+_WORKLOADS = {
+    "adpcm": lambda kb: adpcm_workload(kb * 1024),
+    "idea": lambda kb: idea_workload(kb * 1024),
+    "vadd": lambda kb: vector_add_workload(kb * 1024 // 4),
+}
+
+
+def _print_run(args: argparse.Namespace) -> None:
+    builder = _WORKLOADS.get(args.app)
+    if builder is None:
+        raise ReproError(f"unknown app {args.app!r}; choices: {sorted(_WORKLOADS)}")
+    workload = builder(args.kb)
+    sw = run_software(System(), workload)
+    vim = run_vim(System(), workload)
+    vim.verify()
+    print(f"{workload.name}: software {sw.total_ms:.3f} ms")
+    meas = vim.measurement
+    print(f"{workload.name}: VIM      {vim.total_ms:.3f} ms "
+          f"({meas.speedup_over(sw.measurement):.2f}x, "
+          f"{meas.counters.page_faults} faults, "
+          f"hw {meas.hw_ps / 1e9:.3f} / dp {meas.sw_dp_ps / 1e9:.3f} / "
+          f"imu {meas.sw_imu_ps / 1e9:.3f} ms)")
+    try:
+        typical = run_typical(System(), workload)
+        typical.verify()
+        print(f"{workload.name}: typical  {typical.total_ms:.3f} ms "
+              f"({typical.measurement.speedup_over(sw.measurement):.2f}x)")
+    except CapacityError as error:
+        print(f"{workload.name}: typical  unavailable ({error})")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing and sphinx docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artefacts of the DATE 2004 interface-"
+        "virtualisation paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig7 = sub.add_parser("fig7", help="Figure 7 read-access waveform")
+    fig7.add_argument("--pipelined", action="store_true")
+    fig7.set_defaults(func=_print_fig7)
+
+    fig8 = sub.add_parser("fig8", help="Figure 8 adpcm table")
+    fig8.add_argument("--kb", type=int, nargs="+", default=[2, 4, 8])
+    fig8.set_defaults(func=_print_fig8)
+
+    fig9 = sub.add_parser("fig9", help="Figure 9 IDEA table")
+    fig9.add_argument("--kb", type=int, nargs="+", default=[4, 8, 16, 32])
+    fig9.set_defaults(func=_print_fig9)
+
+    over = sub.add_parser("overheads", help="§4.1 overhead claims")
+    over.set_defaults(func=_print_overheads)
+
+    abl = sub.add_parser("ablations", help="design-choice ablations")
+    abl.add_argument("name", nargs="?", choices=sorted(_ABLATIONS))
+    abl.set_defaults(func=_print_ablations)
+
+    port = sub.add_parser("portability", help="EPXA1/4/10 sweep")
+    port.set_defaults(func=_print_portability)
+
+    run = sub.add_parser("run", help="run one workload, all versions")
+    run.add_argument("app", choices=sorted(_WORKLOADS))
+    run.add_argument("--kb", type=int, default=8)
+    run.set_defaults(func=_print_run)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        args.func(args)
+    except ReproError as error:
+        parser.exit(2, f"error: {error}\n")
+    return 0

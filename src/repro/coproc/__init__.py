@@ -1,0 +1,22 @@
+"""Portable coprocessor framework: ports, FSM base, bit-streams, kernels."""
+
+from repro.coproc.base import Behavior, Coprocessor
+from repro.coproc.bitstream import Bitstream
+from repro.coproc.ports import (
+    ADDR_BITS,
+    DATA_BITS,
+    OBJ_BITS,
+    PARAM_OBJECT,
+    CoprocessorPorts,
+)
+
+__all__ = [
+    "Behavior",
+    "Bitstream",
+    "Coprocessor",
+    "CoprocessorPorts",
+    "PARAM_OBJECT",
+    "ADDR_BITS",
+    "DATA_BITS",
+    "OBJ_BITS",
+]

@@ -1,0 +1,5 @@
+"""Coprocessor kernel cores: the paper's workloads plus the example."""
+
+from repro.coproc.kernels import adpcm, idea, vector_add
+
+__all__ = ["adpcm", "idea", "vector_add"]

@@ -1,0 +1,42 @@
+"""Public API: SoC presets, system assembly, runners, measurements."""
+
+from repro.core.drivers import (
+    adpcm_encode_workload,
+    adpcm_workload,
+    idea_workload,
+    vector_add_workload,
+)
+from repro.core.measurement import Counters, Measurement
+from repro.core.runner import (
+    ObjectSpec,
+    RunResult,
+    WorkloadSpec,
+    run_software,
+    run_typical,
+    run_vim,
+)
+from repro.core.session import CoprocessorSession
+from repro.core.soc import EPXA1, EPXA4, EPXA10, PRESETS, SocConfig
+from repro.core.system import System
+
+__all__ = [
+    "CoprocessorSession",
+    "Counters",
+    "Measurement",
+    "ObjectSpec",
+    "RunResult",
+    "SocConfig",
+    "System",
+    "WorkloadSpec",
+    "adpcm_encode_workload",
+    "adpcm_workload",
+    "idea_workload",
+    "vector_add_workload",
+    "run_software",
+    "run_typical",
+    "run_vim",
+    "EPXA1",
+    "EPXA4",
+    "EPXA10",
+    "PRESETS",
+]

@@ -1,0 +1,222 @@
+"""Coprocessor sessions: load once, execute many times.
+
+§3.3: after end-of-operation handling "the coprocessor should be ready
+and waiting for new execution, if another FPGA_EXECUTE call appears."
+A :class:`CoprocessorSession` keeps the bit-stream configured, the IMU
+wired and the objects mapped across any number of ``execute`` calls —
+the natural shape of a streaming application (decode chunk, consume,
+decode next chunk) that :func:`repro.core.runner.run_vim` hides behind
+its one-shot interface.
+
+Example::
+
+    with CoprocessorSession(System(), adpcm_bitstream) as session:
+        out = session.map_output(1, "pcm", 4 * CHUNK)
+        src = session.map_input(0, "adpcm", stream[:CHUNK])
+        for chunk_start in range(0, len(stream), CHUNK):
+            src.fill_from(stream[chunk_start : chunk_start + CHUNK])
+            result = session.execute([CHUNK])
+            consume(result.outputs[1])
+"""
+
+from __future__ import annotations
+
+from repro.coproc.bitstream import Bitstream
+from repro.errors import VimError
+from repro.imu.imu import INT_PLD_LINE, Imu
+from repro.core.measurement import Measurement
+from repro.core.runner import RunResult, WorkloadSpec
+from repro.core.system import System
+from repro.os.syscalls import FpgaServices
+from repro.os.vim.manager import TransferMode, Vim
+from repro.os.vim.objects import Direction, Hint
+from repro.os.vim.prefetch import Prefetcher
+from repro.os.vmm import UserBuffer
+
+
+class CoprocessorSession:
+    """A configured coprocessor, ready for repeated FPGA_EXECUTE calls."""
+
+    def __init__(
+        self,
+        system: System,
+        bitstream: Bitstream,
+        policy: str = "fifo",
+        transfer_mode: TransferMode = TransferMode.DOUBLE,
+        pipelined_imu: bool = False,
+        access_cycles: int = 4,
+        prefetcher: Prefetcher | None = None,
+        tlb_capacity: int | None = None,
+        eager_mapping: bool = True,
+        sync_cycles: int | None = None,
+        process_name: str = "session",
+    ) -> None:
+        self.system = system
+        self.bitstream = bitstream
+        kernel = system.kernel
+        if sync_cycles is None:
+            sync_cycles = 0 if bitstream.single_domain else Imu.CDC_SYNC_CYCLES
+        self.imu = Imu(
+            system.dpram,
+            system.interrupts,
+            access_cycles=access_cycles,
+            pipelined=pipelined_imu,
+            tlb_capacity=tlb_capacity,
+            sync_cycles=sync_cycles,
+        )
+        self.core = bitstream.build_core()
+        self.core.bind(self.imu)
+        self.vim = Vim(
+            kernel,
+            system.dpram,
+            system.bus,
+            self.imu,
+            policy=policy,
+            transfer_mode=transfer_mode,
+            prefetcher=prefetcher,
+            eager_mapping=eager_mapping,
+        )
+        self.process = kernel.spawn(process_name)
+        kernel.scheduler.pick_next()
+        self.services = FpgaServices(kernel, system.fabric, self.vim)
+        self._setup_measurement = Measurement(name=f"{process_name}/setup")
+        kernel.attach_measurement(self._setup_measurement)
+        try:
+            # Acquire the fabric first: if another process owns it, fail
+            # before claiming the interrupt line or any clock resources.
+            self.services.fpga_load(self.process, bitstream)
+        finally:
+            kernel.detach_measurement()
+        system.interrupts.register(INT_PLD_LINE, self.vim.handle_interrupt)
+        self.domains = system.build_clock_domains(
+            bitstream, self.imu.tick, self.core.tick
+        )
+        self.executions = 0
+        self._closed = False
+
+    # -- object mapping --------------------------------------------------
+
+    def map_object(
+        self,
+        obj_id: int,
+        name: str,
+        size: int,
+        direction: Direction,
+        data: bytes | None = None,
+        hints: Hint = Hint.NONE,
+    ) -> UserBuffer:
+        """Allocate a user buffer and declare it to the VIM.
+
+        Returns the buffer so streaming callers can refill it between
+        ``execute`` calls.
+        """
+        self._require_open()
+        kernel = self.system.kernel
+        buffer = kernel.user_memory.alloc(name, size, self.process.pid)
+        if data is not None:
+            buffer.fill_from(data)
+        kernel.attach_measurement(self._setup_measurement)
+        try:
+            self.services.fpga_map_object(
+                self.process, obj_id, buffer, size, direction, hints
+            )
+        finally:
+            kernel.detach_measurement()
+        return buffer
+
+    def map_input(
+        self, obj_id: int, name: str, data: bytes, hints: Hint = Hint.NONE
+    ) -> UserBuffer:
+        """Map an IN object initialised with *data*."""
+        return self.map_object(
+            obj_id, name, len(data), Direction.IN, data=data, hints=hints
+        )
+
+    def map_output(
+        self, obj_id: int, name: str, size: int, hints: Hint = Hint.NONE
+    ) -> UserBuffer:
+        """Map an OUT object of *size* bytes."""
+        return self.map_object(obj_id, name, size, Direction.OUT, hints=hints)
+
+    # -- execution --------------------------------------------------------
+
+    def execute(self, params: list[int], label: str | None = None) -> RunResult:
+        """One FPGA_EXECUTE: start, service faults, flush, wake.
+
+        Returns a :class:`RunResult` whose outputs are snapshots of the
+        OUT objects after the end-of-operation flush.
+        """
+        self._require_open()
+        system = self.system
+        kernel = system.kernel
+        self.executions += 1
+        name = label or f"exec-{self.executions}"
+        measurement = Measurement(name=name)
+        kernel.attach_measurement(measurement)
+        self.core.reset()
+        try:
+            self.services.fpga_execute(self.process, list(params))
+            total_bytes = sum(obj.size for obj in self.vim.objects.values())
+            deadline = (
+                system.engine.now
+                + system.fabric_ticks_limit(total_bytes)
+                * self.bitstream.iface_frequency.period_ps
+            )
+            while not self.vim.execution_done:
+                System.start_clocks(self.domains)
+                hw_start = system.engine.now
+                arrived = system.engine.run_until(
+                    lambda: bool(system.interrupts.pending_unmasked()),
+                    max_time_ps=deadline,
+                )
+                measurement.add_hw(system.engine.now - hw_start)
+                System.stop_clocks(self.domains)
+                if not arrived:
+                    raise VimError(f"{name}: clocks drained without an interrupt")
+                kernel.service_interrupts()
+            kernel.scheduler.pick_next()
+            stats = self.imu.tlb.stats
+            measurement.counters.tlb_lookups = stats.lookups
+            measurement.counters.tlb_hits = stats.hits
+            outputs = {
+                obj_id: mapped.buffer.snapshot()[: mapped.size]
+                for obj_id, mapped in self.vim.objects.items()
+                if mapped.direction & Direction.OUT
+            }
+        finally:
+            kernel.detach_measurement()
+            System.stop_clocks(self.domains)
+        workload = WorkloadSpec(
+            name=name,
+            bitstream=self.bitstream,
+            objects=(),
+            params=tuple(params),
+            sw_cycles=0,
+            reference=dict,
+        )
+        return RunResult(workload, "vim-session", measurement, outputs)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the fabric, the interrupt line and all user memory."""
+        if self._closed:
+            return
+        self._closed = True
+        self.system.interrupts.unregister(INT_PLD_LINE)
+        # An execution aborted mid-service may leave the line asserted;
+        # clear it so it cannot fire into the next session's handler.
+        self.system.interrupts.clear(INT_PLD_LINE)
+        System.stop_clocks(self.domains)
+        self.system.fabric.release(self.process.pid)
+        self.system.kernel.user_memory.free_process(self.process.pid)
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise VimError("session is closed")
+
+    def __enter__(self) -> "CoprocessorSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

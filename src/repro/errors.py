@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still being able to distinguish hardware-model errors from
+OS-model errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event engine is used inconsistently."""
+
+
+class HardwareError(ReproError):
+    """Base class for errors raised by hardware models."""
+
+
+class MemoryAccessError(HardwareError):
+    """Raised on out-of-range or misaligned memory accesses."""
+
+
+class BusError(HardwareError):
+    """Raised on invalid bus transactions."""
+
+
+class FpgaError(HardwareError):
+    """Raised when a bitstream cannot be configured on the fabric."""
+
+
+class CapacityError(HardwareError):
+    """Raised when a dataset cannot fit the physically available memory.
+
+    This is the failure mode of the paper's *typical coprocessor*
+    version: without interface virtualisation, datasets larger than the
+    dual-port RAM simply cannot be run (Figure 9, "exceeds available
+    memory").
+    """
+
+
+class CoprocessorError(ReproError):
+    """Raised when a coprocessor core misuses its interface."""
+
+
+class OsError(ReproError):
+    """Base class for errors raised by the operating-system model."""
+
+
+class SyscallError(OsError):
+    """Raised when an OS service is invoked with invalid arguments."""
+
+
+class VimError(OsError):
+    """Raised when the Virtual Interface Manager reaches a bad state."""

@@ -1,0 +1,28 @@
+"""Platform hardware substrate: memories, bus, interrupts, PLD fabric."""
+
+from repro.hw.bus import AhbBus, AhbTiming
+from repro.hw.dpram import DualPortRam
+from repro.hw.fpga import (
+    EPXA1_RESOURCES,
+    EPXA4_RESOURCES,
+    EPXA10_RESOURCES,
+    PldFabric,
+    PldResources,
+)
+from repro.hw.interrupts import InterruptController
+from repro.hw.memory import Flash, Memory, Sdram
+
+__all__ = [
+    "AhbBus",
+    "AhbTiming",
+    "DualPortRam",
+    "Flash",
+    "InterruptController",
+    "Memory",
+    "PldFabric",
+    "PldResources",
+    "Sdram",
+    "EPXA1_RESOURCES",
+    "EPXA4_RESOURCES",
+    "EPXA10_RESOURCES",
+]

@@ -1,0 +1,70 @@
+"""AMBA AHB bus cost model.
+
+On the EPXA1 the processor reaches the dual-port RAM through an AMBA
+Advanced High-performance Bus.  We do not model bus *protocol* (that is
+exactly the wrapper problem the paper sets aside as well-studied); we
+model bus *cost*: cycles per beat, burst amortisation, and arbitration
+setup, so that OS page copies carry a realistic price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BusError
+
+
+@dataclass(frozen=True)
+class AhbTiming:
+    """Cycle costs of AHB transfers, in bus-clock cycles.
+
+    ``setup_cycles`` is paid once per transaction (arbitration, address
+    phase); ``cycles_per_beat`` once per 32-bit beat; bursts of
+    ``burst_len`` beats pay the setup only once.
+    """
+
+    setup_cycles: int = 2
+    cycles_per_beat: int = 1
+    burst_len: int = 8
+
+    def __post_init__(self) -> None:
+        if self.setup_cycles < 0 or self.cycles_per_beat < 1 or self.burst_len < 1:
+            raise BusError(f"invalid AHB timing {self}")
+
+
+class AhbBus:
+    """Cost accountant for CPU <-> DP-RAM transfers.
+
+    The bus does not move data itself (the OS model performs the copies
+    on the functional memories); it answers "how many bus cycles does a
+    transfer of N bytes cost?" and keeps traffic statistics.
+    """
+
+    WORD_BYTES = 4
+
+    def __init__(self, timing: AhbTiming | None = None) -> None:
+        self.timing = timing or AhbTiming()
+        self.bytes_transferred = 0
+        self.transactions = 0
+
+    def transfer_cycles(self, nbytes: int) -> int:
+        """Bus cycles to move *nbytes* (rounded up to whole words)."""
+        if nbytes < 0:
+            raise BusError(f"negative transfer size {nbytes}")
+        if nbytes == 0:
+            return 0
+        words = (nbytes + self.WORD_BYTES - 1) // self.WORD_BYTES
+        bursts = (words + self.timing.burst_len - 1) // self.timing.burst_len
+        return bursts * self.timing.setup_cycles + words * self.timing.cycles_per_beat
+
+    def record(self, nbytes: int) -> int:
+        """Account a transfer and return its cost in bus cycles."""
+        cycles = self.transfer_cycles(nbytes)
+        self.bytes_transferred += nbytes
+        self.transactions += 1
+        return cycles
+
+    def reset_stats(self) -> None:
+        """Clear traffic statistics."""
+        self.bytes_transferred = 0
+        self.transactions = 0

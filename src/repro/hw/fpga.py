@@ -1,0 +1,106 @@
+"""PLD fabric model: resources, configuration, exclusive ownership.
+
+``FPGA_LOAD`` "loads a coprocessor definition in the reconfigurable
+hardware and ensures the exclusive use of the resource" (§3.1).  The
+fabric model enforces both halves: a bitstream only configures if its
+resource demand fits the device, and only one process may own the
+fabric at a time.
+
+Resource figures use the Excalibur family's vocabulary: logic elements
+(LEs) and embedded system blocks (ESBs).  The paper notes that IDEA's
+hardware parallelism "was limited by the limited PLD resources of the
+device used" — the EPXA1 is the smallest member of the family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FpgaError
+
+
+@dataclass(frozen=True)
+class PldResources:
+    """Resource capacity or demand of a PLD fabric / bitstream."""
+
+    logic_elements: int
+    memory_bits: int
+
+    def __post_init__(self) -> None:
+        if self.logic_elements < 0 or self.memory_bits < 0:
+            raise FpgaError(f"negative PLD resources: {self}")
+
+    def fits_in(self, capacity: "PldResources") -> bool:
+        """True if this demand fits inside *capacity*."""
+        return (
+            self.logic_elements <= capacity.logic_elements
+            and self.memory_bits <= capacity.memory_bits
+        )
+
+
+#: Device capacities, from the Excalibur family datasheet ballpark.
+EPXA1_RESOURCES = PldResources(logic_elements=4_160, memory_bits=53_248)
+EPXA4_RESOURCES = PldResources(logic_elements=16_640, memory_bits=212_992)
+EPXA10_RESOURCES = PldResources(logic_elements=38_400, memory_bits=327_680)
+
+
+class PldFabric:
+    """The reconfigurable lattice: configure, own, release.
+
+    Configuration time is modelled as proportional to the bitstream
+    length (bytes / ``config_bytes_per_us``); it is charged by the OS
+    when servicing ``FPGA_LOAD`` and is visible in measurements as part
+    of setup time (the paper excludes it from the reported kernels, and
+    so do the benchmarks, but examples can report it).
+    """
+
+    def __init__(
+        self,
+        resources: PldResources = EPXA1_RESOURCES,
+        config_bytes_per_us: int = 50,
+    ) -> None:
+        if config_bytes_per_us <= 0:
+            raise FpgaError("config_bytes_per_us must be positive")
+        self.resources = resources
+        self.config_bytes_per_us = config_bytes_per_us
+        self.configured_bitstream = None  # type: object | None
+        self.owner_pid: int | None = None
+        self.configurations = 0
+
+    @property
+    def is_configured(self) -> bool:
+        """True once a bitstream has been configured."""
+        return self.configured_bitstream is not None
+
+    def configure(self, bitstream, owner_pid: int) -> int:
+        """Configure *bitstream* for *owner_pid*.
+
+        Returns the configuration time in microseconds.  Raises
+        :class:`FpgaError` if the fabric is owned by another live
+        process or the bitstream does not fit.
+        """
+        if self.owner_pid is not None and self.owner_pid != owner_pid:
+            raise FpgaError(
+                f"fabric owned by pid {self.owner_pid}, "
+                f"pid {owner_pid} cannot configure"
+            )
+        demand: PldResources = bitstream.resources
+        if not demand.fits_in(self.resources):
+            raise FpgaError(
+                f"bitstream {bitstream.name!r} needs {demand}, "
+                f"device offers {self.resources}"
+            )
+        self.configured_bitstream = bitstream
+        self.owner_pid = owner_pid
+        self.configurations += 1
+        return max(1, bitstream.length_bytes // self.config_bytes_per_us)
+
+    def release(self, owner_pid: int) -> None:
+        """Release fabric ownership (e.g. when the process exits)."""
+        if self.owner_pid != owner_pid:
+            raise FpgaError(
+                f"pid {owner_pid} does not own the fabric "
+                f"(owner is {self.owner_pid})"
+            )
+        self.owner_pid = None
+        self.configured_bitstream = None

@@ -1,0 +1,19 @@
+"""The paper's hardware contribution: IMU, TLB, registers, baseline."""
+
+from repro.imu.direct import DirectInterface
+from repro.imu.imu import INT_PLD_LINE, Imu, ImuState
+from repro.imu.registers import AddressRegister, ControlRegister, StatusRegister
+from repro.imu.tlb import Tlb, TlbEntry, TlbStats
+
+__all__ = [
+    "AddressRegister",
+    "ControlRegister",
+    "DirectInterface",
+    "Imu",
+    "ImuState",
+    "INT_PLD_LINE",
+    "StatusRegister",
+    "Tlb",
+    "TlbEntry",
+    "TlbStats",
+]

@@ -1,0 +1,104 @@
+"""The IMU's processor-visible registers: AR, SR, CR.
+
+Figure 4 shows three registers accessible by the main processor:
+
+* **AR** (address register) — "holds the address of the coprocessor
+  memory access performed most recently.  By examining this register,
+  the OS can determine which memory access possibly caused an access
+  fault."
+* **SR** (status register) — fault / done / busy / parameter-released
+  flags the VIM reads to decide which service routine to run.
+* **CR** (control register) — start, restart-translation, reset and
+  interrupt-enable bits the VIM writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AddressRegister:
+    """Most recent coprocessor access: object id, byte address, kind."""
+
+    obj: int = 0
+    addr: int = 0
+    write: bool = False
+
+    def capture(self, obj: int, addr: int, write: bool) -> None:
+        """Latch the current access (called by the IMU every access)."""
+        self.obj = obj
+        self.addr = addr
+        self.write = write
+
+    def as_word(self) -> int:
+        """Encode as a 32-bit register image (obj in the top byte)."""
+        return ((self.obj & 0xFF) << 24) | (self.addr & 0x7FFFFF) << 1 | int(self.write)
+
+
+class StatusRegister:
+    """IMU status flags, read by the OS to classify an interrupt."""
+
+    FAULT = 1 << 0
+    DONE = 1 << 1
+    BUSY = 1 << 2
+    PARAM_RELEASED = 1 << 3
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, flag: int) -> None:
+        """Assert a status flag."""
+        self.value |= flag
+
+    def clear(self, flag: int) -> None:
+        """De-assert a status flag."""
+        self.value &= ~flag
+
+    def test(self, flag: int) -> bool:
+        """True if *flag* is asserted."""
+        return bool(self.value & flag)
+
+    @property
+    def fault(self) -> bool:
+        """A coprocessor access missed in the TLB; OS service needed."""
+        return self.test(self.FAULT)
+
+    @property
+    def done(self) -> bool:
+        """The coprocessor signalled end of operation (CP_FIN)."""
+        return self.test(self.DONE)
+
+    @property
+    def busy(self) -> bool:
+        """The coprocessor is running."""
+        return self.test(self.BUSY)
+
+    @property
+    def param_released(self) -> bool:
+        """The coprocessor has consumed and released the parameter page."""
+        return self.test(self.PARAM_RELEASED)
+
+
+class ControlRegister:
+    """IMU control bits, written by the OS."""
+
+    START = 1 << 0
+    RESTART = 1 << 1
+    RESET = 1 << 2
+    INT_ENABLE = 1 << 3
+
+    def __init__(self) -> None:
+        self.value = self.INT_ENABLE
+
+    def set(self, flag: int) -> None:
+        """Assert a control bit."""
+        self.value |= flag
+
+    def clear(self, flag: int) -> None:
+        """De-assert a control bit."""
+        self.value &= ~flag
+
+    def test(self, flag: int) -> bool:
+        """True if *flag* is asserted."""
+        return bool(self.value & flag)

@@ -1,0 +1,146 @@
+"""The IMU's Translation Lookaside Buffer.
+
+"The key part of the IMU is actually the TLB that performs address
+translation for coprocessor accesses" (§3.2).  An entry maps a virtual
+page — the pair *(object id, virtual page number within the object)* —
+to a physical page of the dual-port RAM, and carries validity and
+dirtiness information exactly like a processor TLB.
+
+On the EPXA1 prototype the TLB was built from the PLD's content
+addressable memories; here the CAM is a dict keyed by (obj, vpage),
+which preserves the architectural property that matters: fully
+associative, single-match lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import HardwareError
+
+
+@dataclass
+class TlbEntry:
+    """One translation: (obj, vpage) -> ppage, with valid/dirty bits.
+
+    ``last_used`` and ``referenced`` are the usage assist for
+    recency-based replacement (the hardware updates them on every hit;
+    the VIM reads and clears them through the register interface).
+    """
+
+    obj: int
+    vpage: int
+    ppage: int
+    valid: bool = True
+    dirty: bool = False
+    last_used: int = 0
+    referenced: bool = False
+
+    def key(self) -> tuple[int, int]:
+        """The CAM match tag of this entry."""
+        return (self.obj, self.vpage)
+
+
+@dataclass
+class TlbStats:
+    """Hit/miss counters, exposed to benchmarks and the VIM."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0.0 when no lookups yet)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class Tlb:
+    """A fully-associative TLB sized to the number of DP-RAM pages.
+
+    Because every resident DP-RAM page has exactly one translation, the
+    natural capacity is the number of physical pages — the organisation
+    of the paper's prototype.  A smaller capacity can be configured for
+    ablation studies (then a valid translation can be evicted from the
+    TLB while its page stays resident, causing extra faults).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise HardwareError(f"TLB capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._cam: dict[tuple[int, int], TlbEntry] = {}
+        self.stats = TlbStats()
+
+    def __len__(self) -> int:
+        return len(self._cam)
+
+    def lookup(self, obj: int, vpage: int) -> TlbEntry | None:
+        """CAM match; returns the entry on hit, ``None`` on miss."""
+        self.stats.lookups += 1
+        entry = self._cam.get((obj, vpage))
+        if entry is not None and entry.valid:
+            self.stats.hits += 1
+            entry.last_used = self.stats.lookups
+            entry.referenced = True
+            return entry
+        self.stats.misses += 1
+        return None
+
+    def probe(self, obj: int, vpage: int) -> TlbEntry | None:
+        """Like :meth:`lookup` but without touching the statistics.
+
+        Used by the OS model, which walks the TLB through the register
+        interface rather than through the translation datapath.
+        """
+        entry = self._cam.get((obj, vpage))
+        return entry if entry is not None and entry.valid else None
+
+    def insert(self, obj: int, vpage: int, ppage: int) -> TlbEntry:
+        """Install a translation (done by the VIM after a page load)."""
+        if len(self._cam) >= self.capacity and (obj, vpage) not in self._cam:
+            raise HardwareError(
+                f"TLB full ({self.capacity} entries); VIM must invalidate first"
+            )
+        entry = TlbEntry(obj=obj, vpage=vpage, ppage=ppage)
+        self._cam[entry.key()] = entry
+        self.stats.insertions += 1
+        return entry
+
+    def invalidate(self, obj: int, vpage: int) -> TlbEntry | None:
+        """Remove a translation; returns the removed entry if present."""
+        entry = self._cam.pop((obj, vpage), None)
+        if entry is not None:
+            self.stats.invalidations += 1
+        return entry
+
+    def invalidate_ppage(self, ppage: int) -> TlbEntry | None:
+        """Remove whichever translation maps to physical page *ppage*."""
+        for key, entry in list(self._cam.items()):
+            if entry.ppage == ppage:
+                del self._cam[key]
+                self.stats.invalidations += 1
+                return entry
+        return None
+
+    def invalidate_all(self) -> None:
+        """Flush the whole TLB (done between coprocessor executions)."""
+        self.stats.invalidations += len(self._cam)
+        self._cam.clear()
+
+    def entries(self) -> list[TlbEntry]:
+        """Snapshot of the valid entries (OS-side inspection)."""
+        return [e for e in self._cam.values() if e.valid]
+
+    def dirty_entries(self) -> list[TlbEntry]:
+        """Valid entries with the dirty bit set (end-of-op flush set)."""
+        return [e for e in self._cam.values() if e.valid and e.dirty]
+
+    def entry_for_ppage(self, ppage: int) -> TlbEntry | None:
+        """The entry currently mapping physical page *ppage*, if any."""
+        for entry in self._cam.values():
+            if entry.ppage == ppage and entry.valid:
+                return entry
+        return None

@@ -1,0 +1,20 @@
+"""Operating-system substrate: kernel, scheduler, syscalls, VIM."""
+
+from repro.os.costs import Bucket, CpuCostModel
+from repro.os.kernel import Kernel
+from repro.os.process import Process, ProcessState
+from repro.os.scheduler import Scheduler
+from repro.os.syscalls import FpgaServices
+from repro.os.vmm import UserBuffer, UserMemory
+
+__all__ = [
+    "Bucket",
+    "CpuCostModel",
+    "FpgaServices",
+    "Kernel",
+    "Process",
+    "ProcessState",
+    "Scheduler",
+    "UserBuffer",
+    "UserMemory",
+]

@@ -1,0 +1,72 @@
+"""CPU cost model for OS-side work.
+
+The reproduction does not simulate the ARM instruction by instruction;
+OS activities are charged analytically, in CPU cycles, using the
+constants below.  They are order-of-magnitude figures for an ARM9 class
+core at 133 MHz running Linux 2.4 (the paper's platform) and are the
+*only* calibration surface of the software side — every benchmark and
+every EXPERIMENTS.md number traces back to this table.
+
+Buckets
+-------
+The paper decomposes VIM-based execution time into three components
+(§4.1): hardware time, "software execution time for the dual-port RAM
+management (time spent in the OS transferring data from/to user-space
+memory)" and "software execution time for the IMU management (time
+spent in the OS checking which address has generated the fault and
+updating the translation table)".  The cost model tags every charge
+with one of the :class:`Bucket` values so the same decomposition falls
+out of the measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accounting import Bucket
+from repro.errors import OsError
+
+__all__ = ["Bucket", "CpuCostModel"]
+
+
+@dataclass(frozen=True)
+class CpuCostModel:
+    """Cycle costs of modelled OS activities (133 MHz ARM defaults)."""
+
+    #: Entering + returning from a system call.
+    syscall_cycles: int = 260
+    #: Interrupt entry (mode switch, handler dispatch).
+    irq_entry_cycles: int = 320
+    #: Interrupt exit.
+    irq_exit_cycles: int = 110
+    #: Waking a sleeping process and scheduling it back in.
+    wakeup_cycles: int = 450
+    #: Fixed overhead of a copy loop (function call, range checks).
+    copy_setup_cycles: int = 60
+    #: Per-32-bit-word cost of a CPU copy across the AHB to/from the
+    #: DP-RAM (load + store + loop; the AHB is slower than the core).
+    copy_cycles_per_word: int = 8
+    #: Reading or writing one IMU register (uncached MMIO access).
+    imu_register_cycles: int = 18
+    #: Deciding which (object, page) faulted from the AR contents.
+    fault_decode_cycles: int = 160
+    #: Updating one TLB entry through the IMU's register interface.
+    tlb_update_cycles: int = 90
+    #: Allocator bookkeeping for one page (lists, residency map).
+    page_bookkeeping_cycles: int = 120
+    #: Validating and recording one FPGA_MAP_OBJECT call.
+    map_object_cycles: int = 180
+
+    def __post_init__(self) -> None:
+        for field_name, value in self.__dict__.items():
+            if value < 0:
+                raise OsError(f"cost {field_name} is negative: {value}")
+
+    def copy_cycles(self, nbytes: int) -> int:
+        """CPU cycles to copy *nbytes* between user space and DP-RAM."""
+        if nbytes < 0:
+            raise OsError(f"negative copy size {nbytes}")
+        if nbytes == 0:
+            return 0
+        words = (nbytes + 3) // 4
+        return self.copy_setup_cycles + words * self.copy_cycles_per_word

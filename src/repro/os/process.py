@@ -1,0 +1,59 @@
+"""Process model.
+
+Only as much of a process as the paper's mechanism needs: an identity,
+a state machine (``FPGA_EXECUTE`` "puts the calling process in an
+interruptible sleep mode"), and per-process ownership of user-space
+buffers and of the FPGA fabric.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import OsError
+
+
+class ProcessState(Enum):
+    """Scheduler-visible process states."""
+
+    READY = "ready"
+    RUNNING = "running"
+    SLEEPING = "sleeping"
+    TERMINATED = "terminated"
+
+
+class Process:
+    """A user process on the mini-OS."""
+
+    def __init__(self, pid: int, name: str) -> None:
+        if pid < 0:
+            raise OsError(f"invalid pid {pid}")
+        self.pid = pid
+        self.name = name
+        self.state = ProcessState.READY
+        self.wakeups = 0
+        self.sleeps = 0
+
+    def sleep(self) -> None:
+        """Enter interruptible sleep (waiting for the coprocessor)."""
+        if self.state is ProcessState.TERMINATED:
+            raise OsError(f"process {self.pid} is terminated")
+        self.state = ProcessState.SLEEPING
+        self.sleeps += 1
+
+    def wake(self) -> None:
+        """Return to the ready queue after end-of-operation."""
+        if self.state is not ProcessState.SLEEPING:
+            raise OsError(
+                f"process {self.pid} woken while {self.state.value}, "
+                "expected sleeping"
+            )
+        self.state = ProcessState.READY
+        self.wakeups += 1
+
+    def terminate(self) -> None:
+        """Final state; the fabric and buffers are released by the kernel."""
+        self.state = ProcessState.TERMINATED
+
+    def __repr__(self) -> str:
+        return f"Process(pid={self.pid}, name={self.name!r}, state={self.state.value})"

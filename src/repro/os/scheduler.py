@@ -1,0 +1,70 @@
+"""A minimal round-robin scheduler.
+
+The experiments run one process at a time (as the paper's do), but the
+scheduler is a real one: multiple processes can be created, the current
+process yields the CPU when it sleeps on ``FPGA_EXECUTE``, and the
+end-of-operation wakeup re-queues it — the control flow an OS port of
+the VIM has to integrate with.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import OsError
+from repro.os.process import Process, ProcessState
+
+
+class Scheduler:
+    """Round-robin over READY processes."""
+
+    def __init__(self) -> None:
+        self._ready: deque[Process] = deque()
+        self._current: Process | None = None
+        self.context_switches = 0
+
+    @property
+    def current(self) -> Process | None:
+        """The process currently holding the CPU."""
+        return self._current
+
+    def enqueue(self, process: Process) -> None:
+        """Add a READY process to the run queue."""
+        if process.state is not ProcessState.READY:
+            raise OsError(
+                f"cannot enqueue process {process.pid} in state "
+                f"{process.state.value}"
+            )
+        self._ready.append(process)
+
+    def pick_next(self) -> Process | None:
+        """Dispatch the next READY process (None if the queue is empty)."""
+        if self._current is not None and self._current.state is ProcessState.RUNNING:
+            # Preempt: back to the tail of the queue.
+            self._current.state = ProcessState.READY
+            self._ready.append(self._current)
+        self._current = None
+        while self._ready:
+            candidate = self._ready.popleft()
+            if candidate.state is ProcessState.READY:
+                candidate.state = ProcessState.RUNNING
+                self._current = candidate
+                self.context_switches += 1
+                return candidate
+        return None
+
+    def sleep_current(self) -> None:
+        """Block the current process (it leaves the CPU)."""
+        if self._current is None:
+            raise OsError("no current process to sleep")
+        self._current.sleep()
+        self._current = None
+
+    def wake(self, process: Process) -> None:
+        """Unblock *process* and put it back on the run queue."""
+        process.wake()
+        self._ready.append(process)
+
+    def runnable(self) -> int:
+        """Number of processes in the ready queue."""
+        return len(self._ready)

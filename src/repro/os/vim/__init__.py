@@ -1,0 +1,35 @@
+"""The Virtual Interface Manager kernel module and its helpers."""
+
+from repro.os.vim.allocator import FrameAllocator
+from repro.os.vim.manager import TransferMode, Vim
+from repro.os.vim.objects import Direction, Hint, MappedObject
+from repro.os.vim.policies import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    SecondChancePolicy,
+    VictimContext,
+    make_policy,
+    policy_names,
+)
+from repro.os.vim.prefetch import Prefetcher, SequentialPrefetcher
+
+__all__ = [
+    "Direction",
+    "FifoPolicy",
+    "Hint",
+    "FrameAllocator",
+    "LruPolicy",
+    "MappedObject",
+    "Prefetcher",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SecondChancePolicy",
+    "SequentialPrefetcher",
+    "TransferMode",
+    "VictimContext",
+    "Vim",
+    "make_policy",
+    "policy_names",
+]

@@ -1,0 +1,408 @@
+"""The Virtual Interface Manager.
+
+The VIM is the OS half of the paper's contribution — "implemented as a
+Linux kernel module tuned to the hardware characteristics of the
+particular system" (§4).  It owns the DP-RAM frame allocator and
+services the two IMU interrupt causes of §3.3:
+
+**Page fault** — "the coprocessor attempted an access of a dataset
+part not currently in the dual-port memory.  The OS rearranges the
+current mapping ... It may happen that all pages are in use and in this
+case a page is selected for eviction.  If the page is dirty its
+contents are copied back to the user-space memory and the page is newly
+allocated for the missing data ... Afterward, the OS allows the IMU to
+restart the translation and lets the coprocessor exit from the stalled
+state."
+
+**End of operation** — "The interface manager copies back to user
+space all the dirty data currently residing in the dual-port memory."
+
+Transfer modes
+--------------
+§4.1 admits that "our simple implementation ... makes two transfers
+each time a page is loaded or unloaded from the dual-port memory" (via
+an intermediate kernel buffer) and that the authors were removing the
+limitation.  ``TransferMode.DOUBLE`` reproduces the measured system;
+``TransferMode.SINGLE`` is the announced improvement, benchmarked in
+``benchmarks/bench_ablation_transfers.py``.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.coproc.ports import PARAM_OBJECT
+from repro.errors import VimError
+from repro.hw.bus import AhbBus
+from repro.hw.dpram import DualPortRam
+from repro.imu.imu import Imu
+from repro.os.costs import Bucket
+from repro.os.kernel import Kernel
+from repro.os.process import Process
+from repro.os.vim.allocator import FrameAllocator
+from repro.os.vim.objects import Direction, MappedObject
+from repro.os.vim.policies import ReplacementPolicy, VictimContext, make_policy
+from repro.os.vim.prefetch import Prefetcher, SequentialPrefetcher
+
+#: Prefetcher used for objects mapped with the STREAM hint when no
+#: global prefetcher is configured.  The hint is an explicit promise of
+#: sequential access, so speculative eviction is authorised.
+_STREAM_HINT_PREFETCHER = SequentialPrefetcher(depth=1, aggressive=True)
+
+
+class TransferMode(Enum):
+    """How many CPU copies one page movement costs (§4.1)."""
+
+    SINGLE = 1
+    DOUBLE = 2
+
+
+class Vim:
+    """Virtual Interface Manager kernel module."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        dpram: DualPortRam,
+        bus: AhbBus,
+        imu: Imu,
+        policy: ReplacementPolicy | str = "fifo",
+        transfer_mode: TransferMode = TransferMode.DOUBLE,
+        prefetcher: Prefetcher | None = None,
+        eager_mapping: bool = True,
+    ) -> None:
+        self.kernel = kernel
+        self.dpram = dpram
+        self.bus = bus
+        self.imu = imu
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.transfer_mode = transfer_mode
+        self.prefetcher = prefetcher
+        self.eager_mapping = eager_mapping
+        self.allocator = FrameAllocator(dpram.num_pages)
+        self.objects: dict[int, MappedObject] = {}
+        self.process: Process | None = None
+        self.execution_done = False
+        self._ctx = VictimContext(imu.tlb)
+        # Pages that are resident but whose TLB entry was displaced by a
+        # smaller-than-frame-count TLB; remembers their dirtiness so it
+        # can be restored when the translation is reinstalled.
+        self._shadow_dirty: set[tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Service interface (called by the syscall layer)
+    # ------------------------------------------------------------------
+
+    def map_object(self, mapped: MappedObject) -> None:
+        """Register a dataset (FPGA_MAP_OBJECT back end)."""
+        if mapped.obj_id == PARAM_OBJECT:
+            raise VimError(f"object id {PARAM_OBJECT} is reserved for parameters")
+        self.objects[mapped.obj_id] = mapped
+
+    def unmap_all(self) -> None:
+        """Forget every mapped object (process teardown)."""
+        self.objects.clear()
+
+    def setup_execution(self, params: list[int], process: Process) -> None:
+        """FPGA_EXECUTE back end: map, pass parameters, start (§3.1)."""
+        if not self.objects:
+            raise VimError("FPGA_EXECUTE with no mapped objects")
+        costs = self.kernel.costs
+        self.process = process
+        self.execution_done = False
+        self.imu.reset()
+        self.allocator.reset()
+        self.policy.reset()
+        self._shadow_dirty.clear()
+        for mapped in self.objects.values():
+            mapped.reset_for_execution()
+        # Parameter-passing page: write the scalars, install its
+        # translation so the coprocessor can fetch them.
+        frame = self.allocator.allocate_free()
+        if frame is None:
+            raise VimError("no free frame for the parameter page")
+        self.allocator.assign_param(frame)
+        payload = b"".join(int(p).to_bytes(4, "little") for p in params)
+        if len(payload) > self.dpram.page_size:
+            raise VimError(
+                f"{len(params)} parameters exceed the parameter page "
+                f"({self.dpram.page_size} bytes)"
+            )
+        self.dpram.cpu_write_page(frame, payload)
+        self.kernel.spend(costs.copy_cycles(len(payload)), Bucket.SW_DP)
+        self.bus.record(len(payload))
+        self.imu.tlb.insert(PARAM_OBJECT, 0, frame)
+        self.kernel.spend(costs.tlb_update_cycles, Bucket.SW_IMU)
+        if self.eager_mapping:
+            self._eager_map()
+        self.imu.start_coprocessor()
+
+    def _eager_map(self) -> None:
+        """Pre-load object pages into free frames, in object-id order.
+
+        FPGA_EXECUTE "performs the mapping" before launching the
+        coprocessor: datasets that fit the DP-RAM are fully resident and
+        the execution completes without page faults — the paper's 2 KB
+        adpcm case.
+        """
+        ordered = sorted(
+            self.objects.values(), key=lambda m: (not m.pinned, m.obj_id)
+        )
+        for mapped in ordered:
+            for vpage in range(mapped.num_pages(self.dpram.page_size)):
+                frame = self.allocator.allocate_free()
+                if frame is None:
+                    return
+                self._install_page(mapped, vpage, frame, compulsory=True)
+
+    # ------------------------------------------------------------------
+    # Interrupt service (registered on INT_PLD)
+    # ------------------------------------------------------------------
+
+    def handle_interrupt(self, line: int) -> None:
+        """Classify and service an IMU interrupt (§3.3)."""
+        costs = self.kernel.costs
+        # Read SR to find the cause.
+        self.kernel.spend(costs.imu_register_cycles, Bucket.SW_IMU)
+        if self.imu.sr.fault:
+            self._service_fault()
+        elif self.imu.sr.done:
+            self._service_done()
+        else:
+            raise VimError("IMU interrupt with neither fault nor done status")
+        self.kernel.interrupts.clear(line)
+
+    def _service_fault(self) -> None:
+        costs = self.kernel.costs
+        meas = self.kernel.measurement
+        meas.counters.page_faults += 1
+        # Read AR and decode which (object, page) faulted.
+        self.kernel.spend(
+            costs.imu_register_cycles + costs.fault_decode_cycles, Bucket.SW_IMU
+        )
+        obj_id = self.imu.ar.obj
+        addr = self.imu.ar.addr
+        mapped = self.objects.get(obj_id)
+        if mapped is None:
+            raise VimError(
+                f"coprocessor faulted on unmapped object {obj_id} "
+                f"(address {addr:#x})"
+            )
+        if addr >= mapped.size:
+            raise VimError(
+                f"coprocessor access at {addr:#x} beyond object {obj_id} "
+                f"size {mapped.size:#x}"
+            )
+        vpage = addr >> self.dpram.page_bits
+        resident_frame = self.allocator.frame_of(mapped.obj_id, vpage)
+        if resident_frame is not None:
+            # TLB-only miss: the page is resident but its translation
+            # was displaced (possible only when the TLB is smaller than
+            # the frame count).  Reinstall the entry; no data moves.
+            self._install_translation(mapped, vpage, resident_frame)
+        else:
+            self._bring_in(mapped, vpage)
+        prefetcher = self._prefetcher_for(mapped)
+        if prefetcher is not None:
+            aggressive = getattr(prefetcher, "aggressive", False)
+            overlapped = getattr(prefetcher, "overlapped", False)
+            for target, target_vpage in prefetcher.suggest(
+                mapped, vpage, self.dpram.page_size
+            ):
+                if self.allocator.frame_of(target.obj_id, target_vpage) is not None:
+                    continue
+                frame = self._reusable_free_frame()
+                if frame is None and aggressive:
+                    candidates = self._eviction_candidates()
+                    if candidates:
+                        victim = self.policy.victim(candidates, self._ctx)
+                        self._evict(victim)
+                        frame = victim
+                if frame is None:
+                    break
+                self._install_page(
+                    target,
+                    target_vpage,
+                    frame,
+                    compulsory=False,
+                    charge_copy=not overlapped,
+                )
+                meas.counters.prefetches += 1
+        # Let the IMU retry the translation; the coprocessor unstalls.
+        self.imu.restart_translation()
+        self.kernel.spend(costs.imu_register_cycles, Bucket.SW_IMU)
+
+    def _service_done(self) -> None:
+        """End of operation: flush dirty pages, wake the caller."""
+        costs = self.kernel.costs
+        for entry in self.imu.tlb.dirty_entries():
+            if entry.obj == PARAM_OBJECT:
+                continue
+            mapped = self.objects.get(entry.obj)
+            if mapped is None:
+                raise VimError(f"dirty page for unmapped object {entry.obj}")
+            self._write_back(mapped, entry.vpage, entry.ppage)
+            entry.dirty = False
+        # Resident pages whose dirty TLB entry was displaced earlier.
+        for obj_id, vpage in sorted(self._shadow_dirty):
+            frame = self.allocator.frame_of(obj_id, vpage)
+            if frame is not None:
+                self._write_back(self.objects[obj_id], vpage, frame)
+        self._shadow_dirty.clear()
+        self.imu.acknowledge_done()
+        self.kernel.spend(costs.imu_register_cycles, Bucket.SW_IMU)
+        if self.process is not None:
+            self.kernel.spend(costs.wakeup_cycles, Bucket.SW_OTHER)
+            self.kernel.scheduler.wake(self.process)
+        self.execution_done = True
+
+    # ------------------------------------------------------------------
+    # Page movement
+    # ------------------------------------------------------------------
+
+    def _reusable_free_frame(self) -> int | None:
+        """A free frame, reclaiming the parameter frame once released."""
+        frame = self.allocator.allocate_free()
+        if frame is not None:
+            return frame
+        param_frame = self.allocator.param_frame()
+        if param_frame is not None and self.imu.sr.param_released:
+            self.allocator.release(param_frame)
+            self.kernel.spend(
+                self.kernel.costs.page_bookkeeping_cycles, Bucket.SW_OTHER
+            )
+            return param_frame
+        return None
+
+    def _prefetcher_for(self, mapped: MappedObject) -> Prefetcher | None:
+        """The prefetcher in effect for *mapped* (hint-aware)."""
+        if self.prefetcher is not None:
+            return self.prefetcher
+        if mapped.streaming:
+            return _STREAM_HINT_PREFETCHER
+        return None
+
+    def _eviction_candidates(self) -> list[int]:
+        """Data frames the policy may evict (pinned objects excluded)."""
+        candidates = []
+        for frame in self.allocator.data_frames():
+            owner = self.allocator.owner_of(frame)
+            if owner is not None and self.objects[owner[0]].pinned:
+                continue
+            candidates.append(frame)
+        return candidates
+
+    def _bring_in(self, mapped: MappedObject, vpage: int) -> None:
+        """Make (mapped, vpage) resident, evicting if necessary."""
+        if self.allocator.frame_of(mapped.obj_id, vpage) is not None:
+            raise VimError(
+                f"fault on already-resident page ({mapped.obj_id}, {vpage}); "
+                "TLB and allocator are out of sync"
+            )
+        frame = self._reusable_free_frame()
+        if frame is None:
+            candidates = self._eviction_candidates()
+            if not candidates:
+                raise VimError(
+                    "all DP-RAM pages are pinned; cannot service the fault "
+                    f"for object {mapped.obj_id}"
+                )
+            victim = self.policy.victim(candidates, self._ctx)
+            self._evict(victim)
+            frame = victim
+        self._install_page(mapped, vpage, frame, compulsory=False)
+
+    def _install_page(
+        self,
+        mapped: MappedObject,
+        vpage: int,
+        frame: int,
+        compulsory: bool,
+        charge_copy: bool = True,
+    ) -> None:
+        """Load (if needed) and map one page into *frame*.
+
+        ``charge_copy=False`` models a copy overlapped with coprocessor
+        execution (the paper's envisioned prefetch win): the data still
+        moves, but no serial CPU time is charged.
+        """
+        costs = self.kernel.costs
+        meas = self.kernel.measurement
+        offset, length = mapped.page_span(vpage, self.dpram.page_size)
+        if mapped.needs_load(vpage):
+            data = mapped.buffer.read(offset, length)
+            self.dpram.cpu_write_page(frame, data)
+            if charge_copy:
+                copy_cycles = costs.copy_cycles(length) * self.transfer_mode.value
+                self.kernel.spend(copy_cycles, Bucket.SW_DP)
+            self.bus.record(length)
+            meas.counters.bytes_to_dpram += length
+        else:
+            # First touch of an output-only page: nothing to load; clear
+            # the frame so stale bytes can never reach user space.
+            self.dpram.cpu_write_page(frame, bytes(self.dpram.page_size))
+        if compulsory:
+            meas.counters.compulsory_loads += 1
+        self.allocator.assign(frame, mapped.obj_id, vpage)
+        self._install_translation(mapped, vpage, frame)
+        self.kernel.spend(costs.page_bookkeeping_cycles, Bucket.SW_OTHER)
+        self.policy.on_load(frame)
+
+    def _install_translation(
+        self, mapped: MappedObject, vpage: int, frame: int
+    ) -> None:
+        """Write one TLB entry, displacing another if the TLB is full."""
+        costs = self.kernel.costs
+        tlb = self.imu.tlb
+        key = (mapped.obj_id, vpage)
+        if len(tlb) >= tlb.capacity and tlb.probe(*key) is None:
+            # Displace the least recently used non-parameter entry; the
+            # page stays resident, so remember its dirtiness.
+            victims = [e for e in tlb.entries() if e.obj != PARAM_OBJECT]
+            if not victims:
+                raise VimError("TLB full of parameter entries; cannot displace")
+            displaced = min(victims, key=lambda e: (e.last_used, e.ppage))
+            if displaced.dirty:
+                self._shadow_dirty.add((displaced.obj, displaced.vpage))
+            tlb.invalidate(displaced.obj, displaced.vpage)
+            self.kernel.spend(costs.tlb_update_cycles, Bucket.SW_IMU)
+        entry = tlb.insert(mapped.obj_id, vpage, frame)
+        if key in self._shadow_dirty:
+            entry.dirty = True
+            self._shadow_dirty.discard(key)
+        self.kernel.spend(costs.tlb_update_cycles, Bucket.SW_IMU)
+
+    def _evict(self, frame: int) -> None:
+        """Evict the data page hosted by *frame* (write back if dirty)."""
+        costs = self.kernel.costs
+        meas = self.kernel.measurement
+        owner = self.allocator.owner_of(frame)
+        if owner is None:
+            raise VimError(f"evicting frame {frame} which holds no data page")
+        obj_id, vpage = owner
+        mapped = self.objects[obj_id]
+        entry = self.imu.tlb.probe(obj_id, vpage)
+        dirty = entry.dirty if entry is not None else (obj_id, vpage) in self._shadow_dirty
+        if dirty:
+            self._write_back(mapped, vpage, frame)
+        self._shadow_dirty.discard((obj_id, vpage))
+        if entry is not None:
+            self.imu.tlb.invalidate(obj_id, vpage)
+            self.kernel.spend(costs.tlb_update_cycles, Bucket.SW_IMU)
+        self.allocator.release(frame)
+        self.policy.on_release(frame)
+        meas.counters.evictions += 1
+
+    def _write_back(self, mapped: MappedObject, vpage: int, frame: int) -> None:
+        """Copy a dirty page from the DP-RAM to user space."""
+        costs = self.kernel.costs
+        meas = self.kernel.measurement
+        offset, length = mapped.page_span(vpage, self.dpram.page_size)
+        data = self.dpram.cpu_read_page(frame, length)
+        mapped.buffer.write(offset, data)
+        copy_cycles = costs.copy_cycles(length) * self.transfer_mode.value
+        self.kernel.spend(copy_cycles, Bucket.SW_DP)
+        self.bus.record(length)
+        meas.counters.bytes_from_dpram += length
+        meas.counters.writebacks += 1
+        mapped.written_back.add(vpage)

@@ -1,0 +1,12 @@
+"""Observability: waveform probes, ASCII timing diagrams, VCD export."""
+
+from repro.trace.timeline import SignalTrace, WaveformProbe, render_cycles
+from repro.trace.vcd import dump_vcd, write_vcd
+
+__all__ = [
+    "SignalTrace",
+    "WaveformProbe",
+    "dump_vcd",
+    "render_cycles",
+    "write_vcd",
+]

@@ -1,0 +1,66 @@
+"""Minimal Value-Change-Dump (VCD) writer.
+
+Turns :class:`~repro.trace.timeline.WaveformProbe` captures into
+standard VCD files viewable in GTKWave — handy when debugging a new
+coprocessor core against the IMU handshake.  Only the subset of VCD
+needed for digital traces is implemented (module scope, wire vars,
+binary value changes, picosecond timescale).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.trace.timeline import WaveformProbe
+
+#: VCD identifier alphabet (printable ASCII as per the spec).
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Short unique identifier for variable *index*."""
+    if index < 0:
+        raise SimulationError(f"negative VCD variable index {index}")
+    chars = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(_ID_CHARS))
+        chars.append(_ID_CHARS[rem])
+    return "".join(reversed(chars))
+
+
+def dump_vcd(probe: WaveformProbe, module: str = "repro") -> str:
+    """Serialise all traces of *probe* as a VCD document."""
+    traces = [probe.traces[name] for name in sorted(probe.traces)]
+    ids = {trace.name: _identifier(i) for i, trace in enumerate(traces)}
+    lines = [
+        "$date reproduction run $end",
+        "$version repro vcd writer $end",
+        "$timescale 1ps $end",
+        f"$scope module {module} $end",
+    ]
+    for trace in traces:
+        safe_name = trace.name.replace(" ", "_")
+        lines.append(f"$var wire {trace.width} {ids[trace.name]} {safe_name} $end")
+    lines += ["$upscope $end", "$enddefinitions $end"]
+    # Merge all changes into one time-ordered stream.
+    events: list[tuple[int, str, int, int]] = []
+    for trace in traces:
+        for time_ps, value in zip(trace.times, trace.values):
+            events.append((time_ps, ids[trace.name], value, trace.width))
+    events.sort(key=lambda item: item[0])
+    current_time: int | None = None
+    for time_ps, ident, value, width in events:
+        if time_ps != current_time:
+            lines.append(f"#{time_ps}")
+            current_time = time_ps
+        if width == 1:
+            lines.append(f"{value}{ident}")
+        else:
+            lines.append(f"b{value:b} {ident}")
+    return "\n".join(lines) + "\n"
+
+
+def write_vcd(probe: WaveformProbe, path: str, module: str = "repro") -> None:
+    """Write the probe's traces to *path* as VCD."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(dump_vcd(probe, module))

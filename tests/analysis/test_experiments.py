@@ -1,0 +1,114 @@
+"""Tests of the experiment drivers (small sizes for speed).
+
+The full paper-scale sweeps run in ``benchmarks/``; here each driver is
+exercised end-to-end and its headline *shape* asserted.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ablation_pipelined,
+    ablation_policies,
+    ablation_prefetch,
+    ablation_tlb_capacity,
+    ablation_transfers,
+    figure7,
+    figure8,
+    figure9,
+    portability,
+    translation_overhead,
+)
+from repro.core.drivers import adpcm_workload, idea_workload
+
+
+class TestFigure7:
+    def test_data_ready_on_fourth_edge(self):
+        result = figure7()
+        assert result.data_ready_edge == 4  # the paper's Figure 7
+        assert result.value_read == 0x2A
+
+    def test_pipelined_is_faster(self):
+        assert figure7(pipelined=True).data_ready_edge < 4
+
+    def test_diagram_contains_signals(self):
+        diagram = figure7().diagram
+        for name in ("cp_addr", "cp_access", "cp_tlbhit", "cp_din"):
+            assert name in diagram
+
+
+class TestFigure8Shape:
+    def test_rows_and_speedup(self):
+        rows = figure8(sizes_kb=(2,))
+        (row,) = rows
+        assert row.page_faults == 0  # 2 KB fits the DP-RAM (paper)
+        assert 1.2 < row.vim_speedup < 2.0
+        assert row.sw_ms > row.vim_ms
+
+    def test_faults_appear_at_4kb(self):
+        row = figure8(sizes_kb=(4,))[0]
+        assert row.page_faults > 0
+
+
+class TestFigure9Shape:
+    def test_capacity_cliff(self):
+        rows = figure9(sizes_kb=(4, 16))
+        small, big = rows
+        assert small.typical_fits
+        assert small.typical_ms is not None
+        assert not big.typical_fits
+        assert big.typical_ms is None
+
+    def test_vim_always_runs(self):
+        rows = figure9(sizes_kb=(16,))
+        assert rows[0].vim_speedup > 5
+
+
+class TestOverheads:
+    def test_translation_overhead_near_paper(self):
+        result = translation_overhead(idea_workload(2 * 1024))
+        assert 0.10 < result.overhead_fraction < 0.30  # paper: ~20 %
+
+    def test_imu_fraction_small(self):
+        row = figure8(sizes_kb=(2,))[0]
+        assert row.sw_imu_fraction < 0.025  # paper: up to 2.5 %
+
+
+class TestAblations:
+    def test_pipelined_improves(self):
+        rows = ablation_pipelined(idea_workload(1024))
+        multi, pipe = rows
+        assert pipe.total_ms < multi.total_ms
+
+    def test_policies_cover_registry(self):
+        rows = ablation_policies(adpcm_workload(3 * 1024))
+        assert [r.label for r in rows] == ["fifo", "lru", "random", "second-chance"]
+
+    def test_single_transfer_improves(self):
+        rows = ablation_transfers(adpcm_workload(3 * 1024))
+        double, single = rows
+        assert single.sw_dp_ms < double.sw_dp_ms
+        assert single.hw_ms == pytest.approx(double.hw_ms)
+
+    def test_aggressive_prefetch_cuts_faults(self):
+        rows = ablation_prefetch(adpcm_workload(4 * 1024))
+        none, _, aggressive, overlapped = rows
+        assert aggressive.page_faults < none.page_faults
+        assert aggressive.prefetches > 0
+        assert overlapped.total_ms <= aggressive.total_ms
+
+    def test_smaller_tlb_more_faults(self):
+        rows = ablation_tlb_capacity(adpcm_workload(2 * 1024), capacities=(2, 8))
+        small, full = rows
+        assert small.page_faults > full.page_faults
+
+
+class TestPortability:
+    def test_same_workload_everywhere(self):
+        rows = portability(adpcm_workload(4 * 1024))
+        assert [r.soc for r in rows] == ["EPXA1", "EPXA4", "EPXA10"]
+        assert rows[0].page_faults > 0
+        assert rows[-1].page_faults == 0  # 128 KB DP-RAM absorbs it
+
+    def test_bigger_memory_never_slower(self):
+        rows = portability(adpcm_workload(4 * 1024))
+        assert rows[-1].total_ms <= rows[0].total_ms

@@ -1,0 +1,72 @@
+"""Unit tests for table and chart formatting."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, stacked_bar_chart
+from repro.analysis.tables import format_table, markdown_table
+from repro.errors import ReproError
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(["name", "ms"], [["adpcm", 1.5], ["idea", 25.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "---" in lines[1] or "-" in lines[1]
+        assert "1.500" in text
+
+    def test_bools_render_as_yes_no(self):
+        text = format_table(["fits"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ReproError):
+            format_table([], [])
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = markdown_table(["a", "b"], [[1, 2]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        text = bar_chart([("sw", 10.0), ("hw", 5.0)], width=20)
+        sw_line, hw_line = text.splitlines()
+        assert sw_line.count("█") == 20
+        assert hw_line.count("█") == 10
+
+    def test_values_printed(self):
+        assert "10.000ms" in bar_chart([("sw", 10.0)])
+
+    def test_empty_rows(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_too_narrow_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart([("a", 1.0)], width=4)
+
+
+class TestStackedBarChart:
+    def test_legend_and_segments(self):
+        rows = [("2KB", {"hw": 2.0, "sw_dp": 1.0, "sw_imu": 0.5})]
+        text = stacked_bar_chart(rows, width=35)
+        assert "legend:" in text.splitlines()[0]
+        assert "█" in text and "▓" in text
+        assert "3.500ms" in text
+
+    def test_too_many_components_rejected(self):
+        rows = [("x", {f"c{i}": 1.0 for i in range(5)})]
+        with pytest.raises(ReproError):
+            stacked_bar_chart(rows)
+
+    def test_empty(self):
+        assert stacked_bar_chart([]) == "(no data)"

@@ -1,0 +1,106 @@
+"""Unit and property tests for the IMA ADPCM codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import adpcm
+from repro.errors import ReproError
+
+
+class TestDecodeNibble:
+    def test_zero_code_from_reset_state(self):
+        sample, predictor, index = adpcm.decode_nibble(0, 0, 0)
+        # step=7: diff = 7>>3 = 0 -> predictor unchanged; index -1 -> clamped.
+        assert sample == 0
+        assert predictor == 0
+        assert index == 0
+
+    def test_full_magnitude_code(self):
+        sample, predictor, index = adpcm.decode_nibble(0x7, 0, 0)
+        # diff = 7>>3 + 7 + 7>>1 + 7>>2 = 0+7+3+1 = 11.
+        assert sample == 11
+        assert index == 8  # INDEX_TABLE[7] == 8
+
+    def test_sign_bit_subtracts(self):
+        positive, _, _ = adpcm.decode_nibble(0x7, 100, 10)
+        negative, _, _ = adpcm.decode_nibble(0xF, 100, 10)
+        assert negative < 100 < positive
+
+    def test_predictor_clamps_to_int16(self):
+        sample, _, _ = adpcm.decode_nibble(0x7, 32760, 88)
+        assert sample == 32767
+        sample, _, _ = adpcm.decode_nibble(0xF, -32760, 88)
+        assert sample == -32768
+
+    def test_index_clamps(self):
+        _, _, index = adpcm.decode_nibble(0x0, 0, 0)
+        assert index == 0
+        _, _, index = adpcm.decode_nibble(0x7, 0, 88)
+        assert index == 88
+
+    def test_invalid_code_rejected(self):
+        with pytest.raises(ReproError):
+            adpcm.decode_nibble(16, 0, 0)
+
+
+class TestStreamCodec:
+    def test_decode_two_samples_per_byte(self):
+        samples = adpcm.decode(bytes([0x00, 0x77]))
+        assert len(samples) == 4
+        assert samples.dtype == np.int16
+
+    def test_decode_nibble_order_low_first(self):
+        # Byte 0x70 = low nibble 0 (small step) then high nibble 7.
+        samples = adpcm.decode(bytes([0x70]))
+        assert abs(int(samples[0])) < abs(int(samples[1]))
+
+    def test_encode_requires_even_samples(self):
+        with pytest.raises(ReproError):
+            adpcm.encode(np.zeros(3, dtype=np.int16))
+
+    def test_encode_decode_tracks_signal(self):
+        t = np.arange(2000)
+        wave = (8000 * np.sin(2 * np.pi * t / 50.0)).astype(np.int16)
+        decoded = adpcm.decode(adpcm.encode(wave))
+        # ADPCM is lossy; after convergence it tracks within ~1.5 steps.
+        error = np.abs(decoded[200:].astype(np.int32) - wave[200:])
+        assert float(np.mean(error)) < 600
+
+    def test_decoder_is_deterministic(self):
+        stream = bytes(range(256))
+        assert (adpcm.decode(stream) == adpcm.decode(stream)).all()
+
+    @given(st.binary(min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_decode_always_in_int16_range(self, stream):
+        samples = adpcm.decode(stream)
+        assert len(samples) == 2 * len(stream)
+        assert int(samples.max(initial=0)) <= 32767
+        assert int(samples.min(initial=0)) >= -32768
+
+    @given(
+        st.lists(
+            st.integers(min_value=-32768, max_value=32767),
+            min_size=2,
+            max_size=200,
+        ).filter(lambda xs: len(xs) % 2 == 0)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_encode_decode_state_lockstep(self, values):
+        # The encoder embeds a decoder; decoding its output must follow
+        # the exact same predictor trajectory (bit-exact property).
+        pcm = np.array(values, dtype=np.int16)
+        stream = adpcm.encode(pcm)
+        decoded = adpcm.decode(stream)
+        # Re-encode the decoded signal: a fixed point of the codec.
+        assert adpcm.encode(decoded) == stream
+
+
+class TestCostModel:
+    def test_sw_cycles_linear_in_samples(self):
+        assert adpcm.sw_cycles(100) == 2 * adpcm.sw_cycles(50)
+
+    def test_expansion_factor(self):
+        assert adpcm.OUTPUT_EXPANSION == 4

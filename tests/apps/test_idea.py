@@ -1,0 +1,112 @@
+"""Unit and property tests for the IDEA cipher."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import idea
+from repro.errors import ReproError
+
+
+class TestGroupOperations:
+    def test_mul_zero_means_two_to_sixteen(self):
+        # In GF(2^16+1), 0 represents 2^16.
+        assert idea.mul(0, 1) == 0
+        assert idea.mul(1, 1) == 1
+
+    def test_mul_known_values(self):
+        assert idea.mul(2, 3) == 6
+        assert idea.mul(0x8000, 2) == 0  # product 65536 is encoded as 0
+
+    def test_mul_inverse_property(self):
+        for a in (1, 2, 3, 0x1234, 0xFFFF, 0):
+            inv = idea.mul_inverse(a)
+            assert idea.mul(a, inv) == 1 or (a == 0 and idea.mul(a, inv) == 1)
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=200, deadline=None)
+    def test_mul_inverse_always_inverts(self, a):
+        assert idea.mul(a, idea.mul_inverse(a)) == 1
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=100, deadline=None)
+    def test_add_inverse_always_inverts(self, a):
+        assert idea.add(a, idea.add_inverse(a)) == 0
+
+    def test_add_wraps(self):
+        assert idea.add(0xFFFF, 1) == 0
+
+
+class TestKeySchedule:
+    def test_52_subkeys(self):
+        subkeys = idea.expand_key(bytes(16))
+        assert len(subkeys) == 52
+
+    def test_first_eight_are_key_words(self):
+        key = bytes(range(16))
+        subkeys = idea.expand_key(key)
+        for i in range(8):
+            expected = int.from_bytes(key[2 * i : 2 * i + 2], "big")
+            assert subkeys[i] == expected
+
+    def test_wrong_key_length_rejected(self):
+        with pytest.raises(ReproError):
+            idea.expand_key(bytes(8))
+
+    def test_invert_key_needs_52(self):
+        with pytest.raises(ReproError):
+            idea.invert_key([0] * 10)
+
+
+class TestCipher:
+    def test_published_test_vector(self):
+        # Classic IDEA vector (Lai & Massey).
+        key = (0x00010002000300040005000600070008).to_bytes(16, "big")
+        plaintext = (0x0000000100020003).to_bytes(8, "big")
+        expected = (0x11FBED2B01986DE5).to_bytes(8, "big")
+        assert idea.encrypt(plaintext, key) == expected
+
+    def test_decrypt_inverts_encrypt(self):
+        key = bytes(range(16))
+        data = bytes(range(64))
+        assert idea.decrypt(idea.encrypt(data, key), key) == data
+
+    def test_block_size_enforced(self):
+        with pytest.raises(ReproError):
+            idea.encrypt(bytes(7), bytes(16))
+        with pytest.raises(ReproError):
+            idea.crypt_block(bytes(4), [0] * 52)
+
+    def test_ecb_blocks_independent(self):
+        key = bytes(16)
+        one = idea.encrypt(bytes(8), key)
+        two = idea.encrypt(bytes(16), key)
+        assert two == one + one
+
+    @given(
+        key=st.binary(min_size=16, max_size=16),
+        data=st.binary(min_size=8, max_size=80).filter(lambda b: len(b) % 8 == 0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, key, data):
+        assert idea.decrypt(idea.encrypt(data, key), key) == data
+
+    @given(key=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_encryption_is_permutation(self, key):
+        # Distinct plaintext blocks map to distinct ciphertext blocks.
+        blocks = [bytes(8), bytes([0] * 7 + [1]), bytes([255] * 8)]
+        subkeys = idea.expand_key(key)
+        outputs = {idea.crypt_block(b, subkeys) for b in blocks}
+        assert len(outputs) == len(blocks)
+
+
+class TestCostModel:
+    def test_sw_cycles_linear_in_blocks(self):
+        assert idea.sw_cycles(800) == 100 * idea.SW_CYCLES_PER_BLOCK
+
+    def test_paper_scale(self):
+        # 4 KB at 133 MHz should land near the paper's 26 ms.
+        cycles = idea.sw_cycles(4 * 1024)
+        seconds = cycles / 133e6
+        assert 0.020 < seconds < 0.032

@@ -1,0 +1,73 @@
+"""Unit tests for the vector app and workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.apps import adpcm, vectors, workloads
+from repro.errors import ReproError
+
+
+class TestVectors:
+    def test_add(self):
+        a = np.array([1, 2], dtype=np.uint32)
+        b = np.array([10, 20], dtype=np.uint32)
+        assert (vectors.add_vectors(a, b) == [11, 22]).all()
+
+    def test_add_wraps_uint32(self):
+        a = np.array([0xFFFFFFFF], dtype=np.uint32)
+        b = np.array([2], dtype=np.uint32)
+        assert vectors.add_vectors(a, b)[0] == 1
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            vectors.add_vectors(np.zeros(2, np.uint32), np.zeros(3, np.uint32))
+
+    def test_sw_cycles(self):
+        assert vectors.sw_cycles(10) == 10 * vectors.SW_CYCLES_PER_ELEMENT
+
+
+class TestGenerators:
+    def test_random_bytes_deterministic_per_seed(self):
+        assert workloads.random_bytes(64, seed=5) == workloads.random_bytes(64, seed=5)
+        assert workloads.random_bytes(64, seed=5) != workloads.random_bytes(64, seed=6)
+
+    def test_random_words_shape(self):
+        words = workloads.random_words(10, seed=1)
+        assert words.shape == (10,)
+        assert words.dtype == np.uint32
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ReproError):
+            workloads.random_bytes(-1)
+        with pytest.raises(ReproError):
+            workloads.random_words(-1)
+        with pytest.raises(ReproError):
+            workloads.pcm_waveform(-1)
+        with pytest.raises(ReproError):
+            workloads.adpcm_stream(-1)
+
+    def test_pcm_waveform_in_range(self):
+        wave = workloads.pcm_waveform(1000, seed=3)
+        assert wave.dtype == np.int16
+        assert len(wave) == 1000
+
+    def test_pcm_waveform_is_correlated_not_noise(self):
+        # Adjacent samples of an audio-like signal are close; adjacent
+        # samples of white noise are not.
+        wave = workloads.pcm_waveform(5000, seed=1).astype(np.float64)
+        diffs = np.abs(np.diff(wave))
+        assert float(diffs.mean()) < float(np.abs(wave).mean())
+
+    def test_adpcm_stream_length_exact(self):
+        stream = workloads.adpcm_stream(777, seed=2)
+        assert len(stream) == 777
+
+    def test_adpcm_stream_decodes_to_dynamic_signal(self):
+        stream = workloads.adpcm_stream(2048, seed=1)
+        samples = adpcm.decode(stream)
+        assert int(samples.max()) > 1000
+        assert int(samples.min()) < -1000
+
+    def test_idea_key_size(self):
+        assert len(workloads.idea_key(seed=1)) == 16
+        assert workloads.idea_key(1) != workloads.idea_key(2)

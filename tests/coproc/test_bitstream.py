@@ -1,0 +1,62 @@
+"""Unit tests for bit-stream descriptors."""
+
+import pytest
+
+from repro.coproc.bitstream import Bitstream
+from repro.coproc.kernels.adpcm import AdpcmDecodeCore
+from repro.coproc.kernels import adpcm, idea, vector_add
+from repro.errors import FpgaError
+from repro.hw.fpga import PldResources
+from repro.sim.time import mhz
+
+
+class TestValidation:
+    def test_empty_bitstream_rejected(self):
+        with pytest.raises(FpgaError):
+            Bitstream(
+                name="bad",
+                core_factory=AdpcmDecodeCore,
+                core_frequency=mhz(40.0),
+                resources=PldResources(1, 1),
+                length_bytes=0,
+            )
+
+    def test_interface_slower_than_core_rejected(self):
+        with pytest.raises(FpgaError):
+            Bitstream(
+                name="bad",
+                core_factory=AdpcmDecodeCore,
+                core_frequency=mhz(40.0),
+                interface_frequency=mhz(10.0),
+                resources=PldResources(1, 1),
+            )
+
+
+class TestDomains:
+    def test_adpcm_is_single_domain(self):
+        # "The adpcmdecode coprocessor and the IMU are running at the
+        # frequency of 40MHz" (§4.1).
+        bs = adpcm.bitstream()
+        assert bs.single_domain
+        assert bs.core_frequency.mhz == pytest.approx(40.0)
+
+    def test_idea_is_dual_domain(self):
+        # "A complex coprocessor core running at 6MHz ... The IMU and
+        # IDEA's memory subsystem are running at 24MHz" (§4.1).
+        bs = idea.bitstream()
+        assert not bs.single_domain
+        assert bs.core_frequency.mhz == pytest.approx(6.0)
+        assert bs.iface_frequency.mhz == pytest.approx(24.0)
+
+    def test_iface_frequency_defaults_to_core(self):
+        bs = vector_add.bitstream()
+        assert bs.iface_frequency == bs.core_frequency
+
+
+class TestFactory:
+    def test_build_core_returns_fresh_instances(self):
+        bs = adpcm.bitstream()
+        first = bs.build_core()
+        second = bs.build_core()
+        assert first is not second
+        assert isinstance(first, AdpcmDecodeCore)

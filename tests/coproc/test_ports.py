@@ -1,0 +1,53 @@
+"""Unit tests for the CP_* port bundle."""
+
+from repro.coproc.ports import PARAM_OBJECT, CoprocessorPorts
+
+
+class TestIssue:
+    def test_read_issue_drives_lines(self):
+        ports = CoprocessorPorts()
+        ports.issue(obj=3, addr=0x40, write=False, size=2)
+        assert ports.cp_obj.value == 3
+        assert ports.cp_addr.value == 0x40
+        assert ports.cp_size.value == 2
+        assert ports.cp_wr.value == 0
+        assert ports.cp_access.value == 1
+
+    def test_write_issue_drives_data(self):
+        ports = CoprocessorPorts()
+        ports.issue(obj=1, addr=0, write=True, data=0xABCD)
+        assert ports.cp_wr.value == 1
+        assert ports.cp_dout.value == 0xABCD
+
+    def test_each_issue_bumps_request_id(self):
+        ports = CoprocessorPorts()
+        first = ports.cp_req.value
+        ports.issue(0, 0, False)
+        ports.issue(0, 4, False)
+        assert ports.cp_req.value == (first + 2) & 0xFFFF
+
+    def test_request_id_wraps(self):
+        ports = CoprocessorPorts()
+        ports.cp_req.set(0xFFFF)
+        ports.issue(0, 0, False)
+        assert ports.cp_req.value == 0
+
+    def test_retire_deasserts_access(self):
+        ports = CoprocessorPorts()
+        ports.issue(0, 0, False)
+        ports.retire()
+        assert ports.cp_access.value == 0
+
+    def test_write_data_masked_to_bus_width(self):
+        ports = CoprocessorPorts()
+        ports.issue(0, 0, True, data=0x1_2345_6789)
+        assert ports.cp_dout.value == 0x2345_6789
+
+
+class TestConstants:
+    def test_param_object_outside_user_range(self):
+        # User object ids are 0..254; 255 is the parameter page.
+        assert PARAM_OBJECT == 0xFF
+
+    def test_default_access_size_is_word(self):
+        assert CoprocessorPorts().cp_size.value == 4

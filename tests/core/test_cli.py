@@ -1,0 +1,64 @@
+"""Tests for the CLI (driven in-process via cli.main)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("fig7", "fig8", "fig9", "overheads", "ablations",
+                        "portability", "run"):
+            assert command in text
+
+
+class TestCommands:
+    def test_fig7_prints_waveform(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "cp_tlbhit" in out
+        assert "edge 4" in out
+
+    def test_fig7_pipelined(self, capsys):
+        assert main(["fig7", "--pipelined"]) == 0
+        assert "edge 2" in capsys.readouterr().out
+
+    def test_fig8_custom_sizes(self, capsys):
+        assert main(["fig8", "--kb", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "adpcm-2KB" in out
+        assert "legend:" in out  # stacked chart rendered
+
+    def test_fig9_capacity_marker(self, capsys):
+        assert main(["fig9", "--kb", "16"]) == 0
+        assert "exceeds memory" in capsys.readouterr().out
+
+    def test_ablation_single(self, capsys):
+        assert main(["ablations", "tlb"]) == 0
+        out = capsys.readouterr().out
+        assert "ablation: tlb" in out
+        assert "tlb-2" in out
+
+    def test_ablation_invalid_name(self):
+        with pytest.raises(SystemExit):
+            main(["ablations", "nonsense"])
+
+    def test_run_vadd(self, capsys):
+        assert main(["run", "vadd", "--kb", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "software" in out
+        assert "VIM" in out
+
+    def test_run_idea_large_reports_capacity(self, capsys):
+        assert main(["run", "idea", "--kb", "16"]) == 0
+        assert "unavailable" in capsys.readouterr().out

@@ -1,0 +1,111 @@
+"""Integration tests: rogue cores, fabric contention, system reuse.
+
+A virtualisation layer is only as good as its behaviour when the
+hardware misbehaves: a coprocessor that touches an unmapped object or
+strays past its dataset must produce a clean, attributable error in
+the VIM — never silent corruption.
+"""
+
+import pytest
+
+from repro.coproc.base import Behavior, Coprocessor
+from repro.coproc.bitstream import Bitstream
+from repro.core.drivers import vector_add_workload
+from repro.core.runner import ObjectSpec, WorkloadSpec, run_vim
+from repro.core.session import CoprocessorSession
+from repro.core.system import System
+from repro.coproc.kernels import vector_add as vadd_core
+from repro.errors import VimError
+from repro.hw.fpga import PldResources
+from repro.os.vim.objects import Direction
+from repro.sim.time import mhz
+
+
+def rogue_workload(core_factory, size: int = 64) -> WorkloadSpec:
+    """A one-object workload around a custom (mis)behaving core."""
+    return WorkloadSpec(
+        name="rogue",
+        bitstream=Bitstream(
+            name="rogue",
+            core_factory=core_factory,
+            core_frequency=mhz(40.0),
+            resources=PldResources(100, 0),
+        ),
+        objects=(
+            ObjectSpec(0, "data", Direction.IN, size, bytes(size)),
+        ),
+        params=(size,),
+        sw_cycles=100,
+        reference=dict,
+    )
+
+
+class UnmappedObjectCore(Coprocessor):
+    """Reads from an object id the software never mapped."""
+
+    name = "unmapped-access"
+
+    def behavior(self) -> Behavior:
+        yield from self.read(9, 0)
+
+
+class OutOfBoundsCore(Coprocessor):
+    """Reads far past the end of its mapped object."""
+
+    name = "oob-access"
+
+    def behavior(self) -> Behavior:
+        yield from self.read(0, 1 << 20)
+
+
+class TestRogueCores:
+    def test_unmapped_object_raises_attributable_error(self):
+        with pytest.raises(VimError, match="unmapped object 9"):
+            run_vim(System(), rogue_workload(UnmappedObjectCore))
+
+    def test_out_of_bounds_access_raises(self):
+        with pytest.raises(VimError, match="beyond object 0"):
+            run_vim(System(), rogue_workload(OutOfBoundsCore))
+
+    def test_system_usable_after_rogue_run(self):
+        # The runner's cleanup path must release the fabric and the
+        # interrupt line even when the VIM aborts the execution.
+        system = System()
+        with pytest.raises(VimError):
+            run_vim(system, rogue_workload(UnmappedObjectCore))
+        good = run_vim(system, vector_add_workload(16, seed=1))
+        good.verify()
+
+
+class TestFabricContention:
+    def test_sequential_sessions_share_system(self):
+        system = System()
+        for _ in range(3):
+            with CoprocessorSession(system, vadd_core.bitstream()) as session:
+                session.map_input(0, "A", bytes(16))
+                session.map_input(1, "B", bytes(16))
+                session.map_output(2, "C", 16)
+                session.execute([4])
+        assert system.fabric.owner_pid is None
+        assert system.fabric.configurations == 3
+
+    def test_simulated_time_is_monotonic_across_runs(self):
+        system = System()
+        stamps = []
+        for seed in (1, 2):
+            run_vim(system, vector_add_workload(16, seed=seed))
+            stamps.append(system.engine.now)
+        assert stamps[1] > stamps[0]
+
+
+class TestMeasurementIsolation:
+    def test_back_to_back_runs_identical_measurements(self):
+        # Same workload on fresh systems vs a reused system: the
+        # per-run measurement must not leak between runs.
+        workload = vector_add_workload(128, seed=5)
+        fresh = run_vim(System(), workload).measurement
+        reused_system = System()
+        run_vim(reused_system, workload)
+        second = run_vim(reused_system, workload).measurement
+        assert second.total_ps == fresh.total_ps
+        assert second.counters.page_faults == fresh.counters.page_faults

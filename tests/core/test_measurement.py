@@ -1,0 +1,102 @@
+"""Unit tests for the measurement decomposition."""
+
+import pytest
+
+from repro.accounting import Bucket
+from repro.core.measurement import Measurement
+from repro.errors import ReproError
+
+
+class TestCharging:
+    def test_total_is_hw_plus_buckets(self):
+        meas = Measurement()
+        meas.add_hw(1000)
+        meas.charge(Bucket.SW_DP, 200)
+        meas.charge(Bucket.SW_IMU, 50)
+        meas.charge(Bucket.SW_OTHER, 30)
+        assert meas.total_ps == 1280
+
+    def test_negative_charges_rejected(self):
+        meas = Measurement()
+        with pytest.raises(ReproError):
+            meas.charge(Bucket.SW_DP, -1)
+        with pytest.raises(ReproError):
+            meas.add_hw(-1)
+
+    def test_bucket_views(self):
+        meas = Measurement()
+        meas.charge(Bucket.SW_DP, 10)
+        meas.charge(Bucket.SW_IMU, 20)
+        meas.charge(Bucket.SW_OTHER, 30)
+        meas.charge(Bucket.SW_APP, 40)
+        assert meas.sw_dp_ps == 10
+        assert meas.sw_imu_ps == 20
+        assert meas.sw_other_ps == 30
+        assert meas.sw_app_ps == 40
+
+    def test_total_ms(self):
+        meas = Measurement()
+        meas.add_hw(3_000_000_000)
+        assert meas.total_ms == pytest.approx(3.0)
+
+    def test_fraction(self):
+        meas = Measurement()
+        meas.add_hw(900)
+        meas.charge(Bucket.SW_IMU, 100)
+        assert meas.fraction(Bucket.SW_IMU) == pytest.approx(0.1)
+
+    def test_fraction_of_empty_measurement(self):
+        assert Measurement().fraction(Bucket.SW_DP) == 0.0
+
+
+class TestSpeedup:
+    def test_speedup_over(self):
+        fast = Measurement(name="hw")
+        fast.add_hw(100)
+        slow = Measurement(name="sw")
+        slow.charge(Bucket.SW_APP, 1100)
+        assert fast.speedup_over(slow) == pytest.approx(11.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ReproError):
+            Measurement().speedup_over(Measurement())
+
+
+class TestAsDict:
+    def test_json_serialisable(self):
+        import json
+
+        meas = Measurement(name="run")
+        meas.add_hw(1_000_000)
+        meas.charge(Bucket.SW_DP, 500_000)
+        meas.counters.page_faults = 2
+        dump = meas.as_dict()
+        text = json.dumps(dump)
+        assert '"page_faults": 2' in text
+
+    def test_components_consistent(self):
+        meas = Measurement()
+        meas.add_hw(2_000_000_000)
+        meas.charge(Bucket.SW_IMU, 1_000_000_000)
+        dump = meas.as_dict()
+        assert dump["total_ms"] == pytest.approx(
+            dump["hw_ms"]
+            + dump["sw_dp_ms"]
+            + dump["sw_imu_ms"]
+            + dump["sw_other_ms"]
+            + dump["sw_app_ms"]
+        )
+
+
+class TestSummary:
+    def test_summary_mentions_nonzero_components(self):
+        meas = Measurement(name="run")
+        meas.add_hw(1_000_000)
+        meas.charge(Bucket.SW_DP, 2_000_000)
+        meas.counters.page_faults = 3
+        text = meas.summary()
+        assert "run" in text
+        assert "hw=" in text
+        assert "sw_dp=" in text
+        assert "faults=3" in text
+        assert "sw_imu" not in text  # zero components omitted

@@ -1,0 +1,141 @@
+"""Tests for coprocessor sessions (repeated FPGA_EXECUTE, §3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import adpcm, workloads
+from repro.coproc.kernels import adpcm as adpcm_core
+from repro.coproc.kernels import vector_add as vadd_core
+from repro.core.session import CoprocessorSession
+from repro.core.system import System
+from repro.errors import FpgaError, VimError
+from repro.os.vim.objects import Hint
+
+
+def vadd_session(system=None):
+    return CoprocessorSession(system or System(), vadd_core.bitstream())
+
+
+class TestLifecycle:
+    def test_load_happens_once(self):
+        system = System()
+        with vadd_session(system) as session:
+            a = workloads.random_words(8, seed=1)
+            b = workloads.random_words(8, seed=2)
+            session.map_input(0, "A", a.astype("<u4").tobytes())
+            session.map_input(1, "B", b.astype("<u4").tobytes())
+            session.map_output(2, "C", 32)
+            for _ in range(3):
+                session.execute([8])
+        assert system.fabric.configurations == 1
+        assert session.executions == 3
+
+    def test_close_releases_everything(self):
+        system = System()
+        session = vadd_session(system)
+        session.map_input(0, "A", bytes(32))
+        session.close()
+        assert system.fabric.owner_pid is None
+        assert system.kernel.user_memory.allocated == 0
+        # Idempotent.
+        session.close()
+
+    def test_closed_session_rejects_use(self):
+        session = vadd_session()
+        session.close()
+        with pytest.raises(VimError):
+            session.map_input(0, "A", bytes(4))
+        with pytest.raises(VimError):
+            session.execute([1])
+
+    def test_exclusive_fabric_across_sessions(self):
+        system = System()
+        first = vadd_session(system)
+        with pytest.raises(FpgaError):
+            CoprocessorSession(system, adpcm_core.bitstream())
+        first.close()
+
+
+class TestRepeatedExecution:
+    def test_results_independent_per_execute(self):
+        with vadd_session() as session:
+            a_buf = session.map_input(0, "A", bytes(32))
+            b_buf = session.map_input(1, "B", bytes(32))
+            session.map_output(2, "C", 32)
+            for seed in (3, 4):
+                a = workloads.random_words(8, seed=seed)
+                b = workloads.random_words(8, seed=seed + 100)
+                a_buf.fill_from(a.astype("<u4").tobytes())
+                b_buf.fill_from(b.astype("<u4").tobytes())
+                result = session.execute([8])
+                got = np.frombuffer(result.outputs[2], dtype="<u4")
+                assert (got == a + b).all()
+
+    def test_streaming_adpcm_chunks_bit_exact(self):
+        chunk = 512
+        stream = workloads.adpcm_stream(4 * chunk, seed=9)
+        with CoprocessorSession(System(), adpcm_core.bitstream()) as session:
+            src = session.map_input(0, "in", stream[:chunk])
+            session.map_output(1, "out", 4 * chunk)
+            for start in range(0, len(stream), chunk):
+                src.fill_from(stream[start : start + chunk])
+                result = session.execute([chunk])
+                expected = adpcm.decode(stream[start : start + chunk])
+                assert result.outputs[1] == expected.astype("<i2").tobytes()
+
+    def test_each_execute_gets_fresh_measurement(self):
+        with vadd_session() as session:
+            session.map_input(0, "A", bytes(64))
+            session.map_input(1, "B", bytes(64))
+            session.map_output(2, "C", 64)
+            first = session.execute([16])
+            second = session.execute([16])
+        assert first.measurement is not second.measurement
+        assert first.measurement.total_ps == second.measurement.total_ps
+
+    def test_partial_param_change_between_executes(self):
+        # Process only a prefix of the mapped vectors on the second run.
+        with vadd_session() as session:
+            a = workloads.random_words(16, seed=1)
+            b = workloads.random_words(16, seed=2)
+            session.map_input(0, "A", a.astype("<u4").tobytes())
+            session.map_input(1, "B", b.astype("<u4").tobytes())
+            session.map_output(2, "C", 64)
+            session.execute([16])
+            result = session.execute([4])
+            got = np.frombuffer(result.outputs[2], dtype="<u4")[:4]
+            assert (got == (a + b)[:4]).all()
+
+
+class TestHints:
+    def _run_adpcm(self, hints=Hint.NONE, size=8 * 1024):
+        stream = workloads.adpcm_stream(size, seed=5)
+        with CoprocessorSession(System(), adpcm_core.bitstream()) as session:
+            session.map_input(0, "in", stream, hints=hints)
+            session.map_output(1, "out", 4 * size)
+            result = session.execute([size])
+            expected = adpcm.decode(stream).astype("<i2").tobytes()
+            assert result.outputs[1] == expected
+            return result
+
+    def test_stream_hint_prefetches(self):
+        plain = self._run_adpcm()
+        hinted = self._run_adpcm(hints=Hint.STREAM)
+        assert hinted.measurement.counters.prefetches > 0
+
+    def test_pinned_object_never_evicted(self):
+        result = self._run_adpcm(hints=Hint.PINNED)
+        # The 8 KB input (4 pages) stays resident; only output pages
+        # cycle, so no input page is ever reloaded.
+        assert result.measurement.counters.bytes_to_dpram <= 8 * 1024
+
+    def test_unpinnable_pressure_rejected(self):
+        # Pinning an object larger than the DP-RAM leaves no frames to
+        # service other faults: the VIM must refuse rather than hang.
+        size = 20 * 1024
+        stream = workloads.adpcm_stream(size, seed=6)
+        with CoprocessorSession(System(), adpcm_core.bitstream()) as session:
+            session.map_input(0, "in", stream, hints=Hint.PINNED)
+            session.map_output(1, "out", 4 * size)
+            with pytest.raises(VimError, match="pinned"):
+                session.execute([size])

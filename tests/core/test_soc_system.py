@@ -1,0 +1,65 @@
+"""Unit tests for SoC presets and system assembly."""
+
+import pytest
+
+from repro.coproc.kernels import adpcm, idea
+from repro.core.soc import EPXA1, EPXA4, EPXA10, PRESETS, SocConfig
+from repro.core.system import System
+from repro.errors import ReproError
+
+
+class TestSocConfig:
+    def test_epxa1_matches_paper(self):
+        assert EPXA1.cpu_frequency.mhz == pytest.approx(133.0)
+        assert EPXA1.dpram_bytes == 16 * 1024
+        assert EPXA1.page_bytes == 2 * 1024
+        assert EPXA1.num_pages == 8
+
+    def test_family_dpram_growth(self):
+        assert EPXA1.dpram_bytes < EPXA4.dpram_bytes < EPXA10.dpram_bytes
+
+    def test_presets_registry(self):
+        assert set(PRESETS) == {"EPXA1", "EPXA4", "EPXA10"}
+
+    def test_page_size_must_divide(self):
+        with pytest.raises(ReproError):
+            SocConfig(name="bad", dpram_bytes=10_000, page_bytes=3_000)
+
+
+class TestSystem:
+    def test_assembly(self, system: System):
+        assert system.dpram.num_pages == 8
+        assert system.kernel.cpu_frequency == EPXA1.cpu_frequency
+        assert system.fabric.resources == EPXA1.pld_resources
+
+    def test_single_domain_construction(self, system: System):
+        ticks = []
+        domains = system.build_clock_domains(
+            adpcm.bitstream(), lambda: ticks.append("imu"), lambda: ticks.append("core")
+        )
+        assert len(domains) == 1
+        System.start_clocks(domains)
+        system.engine.run_until(lambda: len(ticks) >= 2)
+        System.stop_clocks(domains)
+        # The interface must tick before the core on the shared edge.
+        assert ticks[:2] == ["imu", "core"]
+
+    def test_dual_domain_construction(self, system: System):
+        domains = system.build_clock_domains(
+            idea.bitstream(), lambda: None, lambda: None
+        )
+        assert len(domains) == 2
+        iface_domain, core_domain = domains
+        assert iface_domain.frequency.mhz == pytest.approx(24.0)
+        assert core_domain.frequency.mhz == pytest.approx(6.0)
+
+    def test_start_clocks_idempotent(self, system: System):
+        domains = system.build_clock_domains(
+            adpcm.bitstream(), lambda: None, lambda: None
+        )
+        System.start_clocks(domains)
+        System.start_clocks(domains)  # already running: no error
+        System.stop_clocks(domains)
+
+    def test_ticks_limit_scales(self, system: System):
+        assert system.fabric_ticks_limit(10_000) > system.fabric_ticks_limit(100)

@@ -1,0 +1,63 @@
+"""Unit tests for the AHB cost model."""
+
+import pytest
+
+from repro.errors import BusError
+from repro.hw.bus import AhbBus, AhbTiming
+
+
+class TestTransferCycles:
+    def test_zero_bytes_free(self):
+        assert AhbBus().transfer_cycles(0) == 0
+
+    def test_single_word(self):
+        # One burst setup + one beat.
+        bus = AhbBus(AhbTiming(setup_cycles=2, cycles_per_beat=1, burst_len=8))
+        assert bus.transfer_cycles(4) == 3
+
+    def test_partial_word_rounds_up(self):
+        bus = AhbBus(AhbTiming(setup_cycles=2, cycles_per_beat=1, burst_len=8))
+        assert bus.transfer_cycles(1) == bus.transfer_cycles(4)
+
+    def test_burst_amortises_setup(self):
+        bus = AhbBus(AhbTiming(setup_cycles=2, cycles_per_beat=1, burst_len=8))
+        # 8 words: one burst: 2 + 8 = 10.
+        assert bus.transfer_cycles(32) == 10
+        # 9 words: two bursts: 4 + 9 = 13.
+        assert bus.transfer_cycles(36) == 13
+
+    def test_page_cost_scales_linearly_in_bursts(self):
+        bus = AhbBus()
+        one_page = bus.transfer_cycles(2048)
+        two_pages = bus.transfer_cycles(4096)
+        assert two_pages == 2 * one_page
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(BusError):
+            AhbBus().transfer_cycles(-1)
+
+
+class TestStats:
+    def test_record_accumulates(self):
+        bus = AhbBus()
+        bus.record(100)
+        bus.record(50)
+        assert bus.bytes_transferred == 150
+        assert bus.transactions == 2
+
+    def test_reset_stats(self):
+        bus = AhbBus()
+        bus.record(100)
+        bus.reset_stats()
+        assert bus.bytes_transferred == 0
+        assert bus.transactions == 0
+
+
+class TestTimingValidation:
+    def test_invalid_timing_rejected(self):
+        with pytest.raises(BusError):
+            AhbTiming(setup_cycles=-1)
+        with pytest.raises(BusError):
+            AhbTiming(cycles_per_beat=0)
+        with pytest.raises(BusError):
+            AhbTiming(burst_len=0)

@@ -1,0 +1,84 @@
+"""Unit tests for the PLD fabric model."""
+
+import pytest
+
+from repro.coproc.kernels import adpcm, idea, vector_add
+from repro.errors import FpgaError
+from repro.hw.fpga import (
+    EPXA1_RESOURCES,
+    EPXA4_RESOURCES,
+    EPXA10_RESOURCES,
+    PldFabric,
+    PldResources,
+)
+
+
+class TestResources:
+    def test_fits_in(self):
+        small = PldResources(100, 1000)
+        big = PldResources(200, 2000)
+        assert small.fits_in(big)
+        assert not big.fits_in(small)
+
+    def test_negative_rejected(self):
+        with pytest.raises(FpgaError):
+            PldResources(-1, 0)
+
+    def test_family_ordering(self):
+        # The Excalibur family grows monotonically.
+        assert EPXA1_RESOURCES.fits_in(EPXA4_RESOURCES)
+        assert EPXA4_RESOURCES.fits_in(EPXA10_RESOURCES)
+
+    def test_paper_cores_fit_epxa1(self):
+        # All three benchmark cores were synthesised on the EPXA1.
+        for bitstream in (vector_add.bitstream(), adpcm.bitstream(), idea.bitstream()):
+            assert bitstream.resources.fits_in(EPXA1_RESOURCES)
+
+
+class TestConfigure:
+    def test_configure_and_ownership(self):
+        fabric = PldFabric()
+        config_us = fabric.configure(vector_add.bitstream(), owner_pid=7)
+        assert fabric.is_configured
+        assert fabric.owner_pid == 7
+        assert config_us > 0
+
+    def test_exclusive_use_enforced(self):
+        # FPGA_LOAD "ensures the exclusive use of the resource" (§3.1).
+        fabric = PldFabric()
+        fabric.configure(vector_add.bitstream(), owner_pid=1)
+        with pytest.raises(FpgaError):
+            fabric.configure(idea.bitstream(), owner_pid=2)
+
+    def test_owner_may_reconfigure(self):
+        fabric = PldFabric()
+        fabric.configure(vector_add.bitstream(), owner_pid=1)
+        fabric.configure(idea.bitstream(), owner_pid=1)
+        assert fabric.configurations == 2
+
+    def test_oversized_bitstream_rejected(self):
+        fabric = PldFabric(PldResources(10, 10))
+        with pytest.raises(FpgaError):
+            fabric.configure(vector_add.bitstream(), owner_pid=1)
+
+    def test_config_time_scales_with_length(self):
+        fabric = PldFabric()
+        short = fabric.configure(vector_add.bitstream(), owner_pid=1)
+        fabric.release(1)
+        long = fabric.configure(idea.bitstream(), owner_pid=1)
+        assert long > short
+
+
+class TestRelease:
+    def test_release_frees_fabric(self):
+        fabric = PldFabric()
+        fabric.configure(vector_add.bitstream(), owner_pid=1)
+        fabric.release(1)
+        assert not fabric.is_configured
+        fabric.configure(idea.bitstream(), owner_pid=2)
+
+    def test_non_owner_release_rejected(self):
+        fabric = PldFabric()
+        fabric.configure(vector_add.bitstream(), owner_pid=1)
+        with pytest.raises(FpgaError):
+            fabric.release(2)

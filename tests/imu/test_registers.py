@@ -1,0 +1,59 @@
+"""Unit tests for the IMU's AR/SR/CR registers."""
+
+from repro.imu.registers import AddressRegister, ControlRegister, StatusRegister
+
+
+class TestAddressRegister:
+    def test_capture(self):
+        ar = AddressRegister()
+        ar.capture(obj=3, addr=0x1234, write=True)
+        assert (ar.obj, ar.addr, ar.write) == (3, 0x1234, True)
+
+    def test_recapture_overwrites(self):
+        # AR holds "the address of the coprocessor memory access
+        # performed most recently" — only the latest access survives.
+        ar = AddressRegister()
+        ar.capture(1, 0x10, False)
+        ar.capture(2, 0x20, True)
+        assert (ar.obj, ar.addr) == (2, 0x20)
+
+    def test_word_encoding_carries_object(self):
+        ar = AddressRegister()
+        ar.capture(obj=0xAB, addr=0x100, write=False)
+        assert (ar.as_word() >> 24) & 0xFF == 0xAB
+
+
+class TestStatusRegister:
+    def test_flags_start_clear(self):
+        sr = StatusRegister()
+        assert not sr.fault
+        assert not sr.done
+        assert not sr.busy
+        assert not sr.param_released
+
+    def test_set_and_clear(self):
+        sr = StatusRegister()
+        sr.set(StatusRegister.FAULT)
+        assert sr.fault
+        sr.clear(StatusRegister.FAULT)
+        assert not sr.fault
+
+    def test_flags_are_independent(self):
+        sr = StatusRegister()
+        sr.set(StatusRegister.BUSY)
+        sr.set(StatusRegister.DONE)
+        sr.clear(StatusRegister.BUSY)
+        assert sr.done
+        assert not sr.busy
+
+
+class TestControlRegister:
+    def test_interrupts_enabled_by_default(self):
+        assert ControlRegister().test(ControlRegister.INT_ENABLE)
+
+    def test_set_clear_test(self):
+        cr = ControlRegister()
+        cr.set(ControlRegister.START)
+        assert cr.test(ControlRegister.START)
+        cr.clear(ControlRegister.START)
+        assert not cr.test(ControlRegister.START)

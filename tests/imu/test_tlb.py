@@ -1,0 +1,123 @@
+"""Unit tests for the IMU's CAM TLB."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.imu.tlb import Tlb
+
+
+class TestLookup:
+    def test_hit_after_insert(self):
+        tlb = Tlb(8)
+        tlb.insert(obj=1, vpage=2, ppage=5)
+        entry = tlb.lookup(1, 2)
+        assert entry is not None
+        assert entry.ppage == 5
+
+    def test_miss_on_empty(self):
+        assert Tlb(8).lookup(0, 0) is None
+
+    def test_miss_on_wrong_object(self):
+        # The object id is part of the CAM tag — same page index of a
+        # different object must not alias.
+        tlb = Tlb(8)
+        tlb.insert(obj=1, vpage=0, ppage=3)
+        assert tlb.lookup(2, 0) is None
+
+    def test_stats(self):
+        tlb = Tlb(8)
+        tlb.insert(0, 0, 0)
+        tlb.lookup(0, 0)
+        tlb.lookup(0, 1)
+        assert tlb.stats.lookups == 2
+        assert tlb.stats.hits == 1
+        assert tlb.stats.misses == 1
+        assert tlb.stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_without_lookups(self):
+        assert Tlb(4).stats.hit_rate == 0.0
+
+    def test_probe_does_not_touch_stats(self):
+        tlb = Tlb(8)
+        tlb.insert(0, 0, 0)
+        tlb.probe(0, 0)
+        tlb.probe(0, 9)
+        assert tlb.stats.lookups == 0
+
+    def test_usage_assist_updates_on_hit(self):
+        tlb = Tlb(8)
+        entry = tlb.insert(0, 0, 0)
+        assert not entry.referenced
+        tlb.lookup(0, 0)
+        assert entry.referenced
+        first = entry.last_used
+        tlb.lookup(0, 0)
+        assert entry.last_used > first
+
+
+class TestCapacity:
+    def test_full_tlb_rejects_insert(self):
+        tlb = Tlb(2)
+        tlb.insert(0, 0, 0)
+        tlb.insert(0, 1, 1)
+        with pytest.raises(HardwareError):
+            tlb.insert(0, 2, 2)
+
+    def test_reinsert_same_key_allowed_when_full(self):
+        tlb = Tlb(1)
+        tlb.insert(0, 0, 0)
+        tlb.insert(0, 0, 1)  # update in place
+        assert tlb.lookup(0, 0).ppage == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(HardwareError):
+            Tlb(0)
+
+
+class TestInvalidate:
+    def test_invalidate_by_key(self):
+        tlb = Tlb(8)
+        tlb.insert(1, 1, 4)
+        removed = tlb.invalidate(1, 1)
+        assert removed is not None
+        assert tlb.lookup(1, 1) is None
+
+    def test_invalidate_missing_returns_none(self):
+        assert Tlb(8).invalidate(0, 0) is None
+
+    def test_invalidate_by_ppage(self):
+        tlb = Tlb(8)
+        tlb.insert(0, 0, 6)
+        removed = tlb.invalidate_ppage(6)
+        assert removed is not None and removed.ppage == 6
+        assert tlb.invalidate_ppage(6) is None
+
+    def test_invalidate_all(self):
+        tlb = Tlb(8)
+        tlb.insert(0, 0, 0)
+        tlb.insert(0, 1, 1)
+        tlb.invalidate_all()
+        assert len(tlb) == 0
+
+
+class TestEntryQueries:
+    def test_dirty_entries(self):
+        tlb = Tlb(8)
+        clean = tlb.insert(0, 0, 0)
+        dirty = tlb.insert(0, 1, 1)
+        dirty.dirty = True
+        assert tlb.dirty_entries() == [dirty]
+        assert clean in tlb.entries()
+
+    def test_entry_for_ppage(self):
+        tlb = Tlb(8)
+        entry = tlb.insert(2, 3, 7)
+        assert tlb.entry_for_ppage(7) is entry
+        assert tlb.entry_for_ppage(0) is None
+
+    def test_at_most_one_entry_per_key(self):
+        tlb = Tlb(8)
+        tlb.insert(0, 0, 1)
+        tlb.insert(0, 0, 2)
+        matches = [e for e in tlb.entries() if e.key() == (0, 0)]
+        assert len(matches) == 1

@@ -1,0 +1,38 @@
+"""Unit tests for the CPU cost model."""
+
+import pytest
+
+from repro.accounting import Bucket
+from repro.errors import OsError
+from repro.os.costs import CpuCostModel
+
+
+class TestCopyCycles:
+    def test_zero_bytes_free(self):
+        assert CpuCostModel().copy_cycles(0) == 0
+
+    def test_word_granularity(self):
+        costs = CpuCostModel(copy_setup_cycles=10, copy_cycles_per_word=4)
+        assert costs.copy_cycles(4) == 14
+        assert costs.copy_cycles(1) == 14  # rounds up to a word
+        assert costs.copy_cycles(8) == 18
+
+    def test_page_copy_scale(self):
+        costs = CpuCostModel()
+        page = costs.copy_cycles(2048)
+        # 512 words at 8 cycles + setup.
+        assert page == costs.copy_setup_cycles + 512 * 8
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(OsError):
+            CpuCostModel().copy_cycles(-1)
+
+
+class TestValidation:
+    def test_negative_cost_rejected(self):
+        with pytest.raises(OsError):
+            CpuCostModel(syscall_cycles=-1)
+
+    def test_buckets_are_complete(self):
+        values = {bucket.value for bucket in Bucket}
+        assert values == {"sw_dp", "sw_imu", "sw_other", "sw_app"}

@@ -1,0 +1,79 @@
+"""Unit tests for mapped interface objects."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.os.vim.objects import Direction, MappedObject
+from repro.os.vmm import UserBuffer
+
+
+def make_object(size=5000, direction=Direction.IN, obj_id=0) -> MappedObject:
+    return MappedObject(obj_id, UserBuffer("b", size, pid=1), size, direction)
+
+
+class TestValidation:
+    def test_reserved_and_invalid_ids_rejected(self):
+        with pytest.raises(SyscallError):
+            make_object(obj_id=255)
+        with pytest.raises(SyscallError):
+            make_object(obj_id=-1)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(SyscallError):
+            MappedObject(0, UserBuffer("b", 4, pid=1), 0, Direction.IN)
+
+    def test_size_beyond_buffer_rejected(self):
+        with pytest.raises(SyscallError):
+            MappedObject(0, UserBuffer("b", 4, pid=1), 8, Direction.IN)
+
+
+class TestPaging:
+    def test_num_pages_rounds_up(self):
+        obj = make_object(size=5000)
+        assert obj.num_pages(2048) == 3
+
+    def test_page_span_full_page(self):
+        obj = make_object(size=5000)
+        assert obj.page_span(0, 2048) == (0, 2048)
+        assert obj.page_span(1, 2048) == (2048, 2048)
+
+    def test_page_span_partial_tail(self):
+        obj = make_object(size=5000)
+        assert obj.page_span(2, 2048) == (4096, 904)
+
+    def test_page_span_beyond_object_rejected(self):
+        with pytest.raises(SyscallError):
+            make_object(size=5000).page_span(3, 2048)
+
+
+class TestDirections:
+    def test_in_pages_always_load(self):
+        obj = make_object(direction=Direction.IN)
+        assert obj.needs_load(0)
+
+    def test_inout_pages_always_load(self):
+        obj = make_object(direction=Direction.INOUT)
+        assert obj.needs_load(1)
+
+    def test_out_pages_skip_first_load(self):
+        obj = make_object(direction=Direction.OUT)
+        assert not obj.needs_load(0)
+
+    def test_out_pages_reload_after_writeback(self):
+        # An evicted-dirty OUT page holds real results; losing them on
+        # the reload would corrupt output.
+        obj = make_object(direction=Direction.OUT)
+        obj.written_back.add(1)
+        assert obj.needs_load(1)
+        assert not obj.needs_load(0)
+
+    def test_reset_for_execution_clears_writebacks(self):
+        obj = make_object(direction=Direction.OUT)
+        obj.written_back.add(0)
+        obj.reset_for_execution()
+        assert not obj.needs_load(0)
+
+    def test_direction_flags_compose(self):
+        assert Direction.INOUT & Direction.IN
+        assert Direction.INOUT & Direction.OUT
+        assert not (Direction.IN & Direction.OUT)

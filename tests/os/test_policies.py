@@ -1,0 +1,156 @@
+"""Unit tests for page-replacement policies."""
+
+import pytest
+
+from repro.errors import VimError
+from repro.imu.tlb import Tlb
+from repro.os.vim.policies import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    SecondChancePolicy,
+    VictimContext,
+    make_policy,
+    policy_names,
+)
+
+
+@pytest.fixture
+def tlb_ctx():
+    tlb = Tlb(8)
+    return tlb, VictimContext(tlb)
+
+
+class TestFifo:
+    def test_evicts_oldest_load(self, tlb_ctx):
+        _, ctx = tlb_ctx
+        policy = FifoPolicy()
+        for frame in (3, 1, 2):
+            policy.on_load(frame)
+        assert policy.victim([1, 2, 3], ctx) == 3
+
+    def test_reload_moves_to_back(self, tlb_ctx):
+        _, ctx = tlb_ctx
+        policy = FifoPolicy()
+        policy.on_load(0)
+        policy.on_load(1)
+        policy.on_load(0)  # reloaded: now newest
+        assert policy.victim([0, 1], ctx) == 1
+
+    def test_release_forgets_frame(self, tlb_ctx):
+        _, ctx = tlb_ctx
+        policy = FifoPolicy()
+        policy.on_load(0)
+        policy.on_load(1)
+        policy.on_release(0)
+        assert policy.victim([1], ctx) == 1
+
+    def test_unknown_frames_fall_back(self, tlb_ctx):
+        _, ctx = tlb_ctx
+        assert FifoPolicy().victim([4, 5], ctx) == 4
+
+    def test_empty_candidates_rejected(self, tlb_ctx):
+        _, ctx = tlb_ctx
+        with pytest.raises(VimError):
+            FifoPolicy().victim([], ctx)
+
+    def test_reset_clears_history(self, tlb_ctx):
+        _, ctx = tlb_ctx
+        policy = FifoPolicy()
+        policy.on_load(2)
+        policy.reset()
+        assert policy.victim([1, 2], ctx) == 1
+
+
+class TestLru:
+    def test_evicts_least_recently_hit(self, tlb_ctx):
+        tlb, ctx = tlb_ctx
+        tlb.insert(0, 0, 0)
+        tlb.insert(0, 1, 1)
+        tlb.lookup(0, 0)  # frame 0 used
+        tlb.lookup(0, 1)  # frame 1 used later
+        tlb.lookup(0, 0)  # frame 0 used again -> frame 1 is LRU
+        assert LruPolicy().victim([0, 1], ctx) == 1
+
+    def test_untouched_entries_preferred(self, tlb_ctx):
+        tlb, ctx = tlb_ctx
+        tlb.insert(0, 0, 0)
+        tlb.insert(0, 1, 1)
+        tlb.lookup(0, 1)
+        assert LruPolicy().victim([0, 1], ctx) == 0
+
+    def test_ties_break_by_frame_number(self, tlb_ctx):
+        tlb, ctx = tlb_ctx
+        tlb.insert(0, 0, 6)
+        tlb.insert(0, 1, 7)
+        assert LruPolicy().victim([7, 6], ctx) == 6
+
+
+class TestRandom:
+    def test_seeded_reproducibility(self, tlb_ctx):
+        _, ctx = tlb_ctx
+        first = RandomPolicy(seed=1)
+        second = RandomPolicy(seed=1)
+        picks_a = [first.victim([0, 1, 2, 3], ctx) for _ in range(10)]
+        picks_b = [second.victim([0, 1, 2, 3], ctx) for _ in range(10)]
+        assert picks_a == picks_b
+
+    def test_reset_restores_sequence(self, tlb_ctx):
+        _, ctx = tlb_ctx
+        policy = RandomPolicy(seed=2)
+        first = [policy.victim([0, 1, 2], ctx) for _ in range(5)]
+        policy.reset()
+        assert [policy.victim([0, 1, 2], ctx) for _ in range(5)] == first
+
+    def test_picks_within_candidates(self, tlb_ctx):
+        _, ctx = tlb_ctx
+        policy = RandomPolicy(seed=3)
+        for _ in range(20):
+            assert policy.victim([4, 6], ctx) in (4, 6)
+
+
+class TestSecondChance:
+    def test_referenced_frame_survives_one_pass(self, tlb_ctx):
+        tlb, ctx = tlb_ctx
+        tlb.insert(0, 0, 0)
+        tlb.insert(0, 1, 1)
+        policy = SecondChancePolicy()
+        policy.on_load(0)
+        policy.on_load(1)
+        tlb.lookup(0, 0)  # frame 0 referenced
+        assert policy.victim([0, 1], ctx) == 1
+
+    def test_reference_bit_cleared_by_sweep(self, tlb_ctx):
+        tlb, ctx = tlb_ctx
+        entry = tlb.insert(0, 0, 0)
+        tlb.insert(0, 1, 1)
+        policy = SecondChancePolicy()
+        policy.on_load(0)
+        policy.on_load(1)
+        tlb.lookup(0, 0)
+        policy.victim([0, 1], ctx)
+        assert not entry.referenced
+
+    def test_all_referenced_degrades_to_fifo(self, tlb_ctx):
+        tlb, ctx = tlb_ctx
+        tlb.insert(0, 0, 0)
+        tlb.insert(0, 1, 1)
+        tlb.lookup(0, 0)
+        tlb.lookup(0, 1)
+        policy = SecondChancePolicy()
+        policy.on_load(0)
+        policy.on_load(1)
+        assert policy.victim([0, 1], ctx) == 0
+
+
+class TestRegistry:
+    def test_all_policies_registered(self):
+        assert policy_names() == ["fifo", "lru", "random", "second-chance"]
+
+    def test_make_policy(self):
+        assert isinstance(make_policy("fifo"), FifoPolicy)
+        assert isinstance(make_policy("lru"), LruPolicy)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(VimError):
+            make_policy("mru")

@@ -1,0 +1,92 @@
+"""Unit tests for processes and the round-robin scheduler."""
+
+import pytest
+
+from repro.errors import OsError
+from repro.os.process import Process, ProcessState
+from repro.os.scheduler import Scheduler
+
+
+class TestProcess:
+    def test_starts_ready(self):
+        assert Process(1, "app").state is ProcessState.READY
+
+    def test_sleep_wake_cycle(self):
+        process = Process(1, "app")
+        process.sleep()
+        assert process.state is ProcessState.SLEEPING
+        process.wake()
+        assert process.state is ProcessState.READY
+        assert process.sleeps == 1
+        assert process.wakeups == 1
+
+    def test_wake_requires_sleeping(self):
+        with pytest.raises(OsError):
+            Process(1, "app").wake()
+
+    def test_terminated_cannot_sleep(self):
+        process = Process(1, "app")
+        process.terminate()
+        with pytest.raises(OsError):
+            process.sleep()
+
+    def test_negative_pid_rejected(self):
+        with pytest.raises(OsError):
+            Process(-1, "app")
+
+
+class TestScheduler:
+    def test_pick_next_round_robin(self):
+        sched = Scheduler()
+        a, b = Process(1, "a"), Process(2, "b")
+        sched.enqueue(a)
+        sched.enqueue(b)
+        assert sched.pick_next() is a
+        assert sched.pick_next() is b  # a preempted to tail
+        assert sched.pick_next() is a
+
+    def test_pick_next_empty(self):
+        assert Scheduler().pick_next() is None
+
+    def test_sleep_current_releases_cpu(self):
+        sched = Scheduler()
+        process = Process(1, "a")
+        sched.enqueue(process)
+        sched.pick_next()
+        sched.sleep_current()
+        assert sched.current is None
+        assert process.state is ProcessState.SLEEPING
+
+    def test_sleep_without_current_rejected(self):
+        with pytest.raises(OsError):
+            Scheduler().sleep_current()
+
+    def test_wake_requeues(self):
+        sched = Scheduler()
+        process = Process(1, "a")
+        sched.enqueue(process)
+        sched.pick_next()
+        sched.sleep_current()
+        sched.wake(process)
+        assert sched.pick_next() is process
+
+    def test_enqueue_requires_ready(self):
+        sched = Scheduler()
+        process = Process(1, "a")
+        process.sleep()
+        with pytest.raises(OsError):
+            sched.enqueue(process)
+
+    def test_terminated_processes_skipped(self):
+        sched = Scheduler()
+        a, b = Process(1, "a"), Process(2, "b")
+        sched.enqueue(a)
+        sched.enqueue(b)
+        a.terminate()
+        assert sched.pick_next() is b
+
+    def test_context_switches_counted(self):
+        sched = Scheduler()
+        sched.enqueue(Process(1, "a"))
+        sched.pick_next()
+        assert sched.context_switches == 1

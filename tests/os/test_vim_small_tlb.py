@@ -1,0 +1,78 @@
+"""Tests for VIM operation with a TLB smaller than the frame count.
+
+When the TLB cannot hold one entry per DP-RAM page, a translation can
+be displaced while its page stays resident.  The VIM must then (a)
+service translation-only faults without moving data, and (b) remember
+the displaced entry's dirty bit (the *shadow*), or dirty data would be
+lost at eviction or end-of-operation.
+"""
+
+import numpy as np
+
+from repro.core.drivers import adpcm_workload, vector_add_workload
+from repro.core.runner import run_vim
+from repro.core.system import System
+
+
+class TestTranslationOnlyFaults:
+    def test_no_data_movement_on_tlb_only_miss(self):
+        # With TLB=2 the working set (3 pages + param) stays resident
+        # while translations churn: extra faults, no extra copies.
+        workload = vector_add_workload(256, seed=3)  # 3 x 1KB objects
+        full = run_vim(System(), workload)
+        tiny = run_vim(System(), workload, tlb_capacity=2)
+        tiny.verify()
+        assert (
+            tiny.measurement.counters.page_faults
+            > full.measurement.counters.page_faults
+        )
+        # Same bytes moved: the extra faults were translation-only.
+        assert (
+            tiny.measurement.counters.bytes_to_dpram
+            == full.measurement.counters.bytes_to_dpram
+        )
+        assert tiny.measurement.counters.evictions == 0
+
+    def test_output_correct_with_minimal_tlb(self):
+        # TLB of 2: param + one data translation at a time, on a
+        # workload that also exceeds DP-RAM capacity (real evictions
+        # interleaved with translation-only faults).
+        workload = adpcm_workload(4 * 1024, seed=6)
+        result = run_vim(System(), workload, tlb_capacity=2)
+        result.verify()
+        assert result.measurement.counters.evictions > 0
+
+    def test_dirty_bit_survives_displacement(self):
+        # The OUT object's pages get dirty, their translations get
+        # displaced by the churn, and end-of-operation must still flush
+        # them from the shadow — verify() would fail otherwise, so the
+        # strongest assertion is simply bit-exactness plus churn.
+        workload = vector_add_workload(700, seed=8)
+        result = run_vim(System(), workload, tlb_capacity=3)
+        result.verify()
+        meas = result.measurement
+        assert meas.counters.page_faults > meas.counters.evictions
+
+    def test_sw_imu_time_grows_with_displacements(self):
+        workload = adpcm_workload(2 * 1024, seed=2)
+        full = run_vim(System(), workload)
+        tiny = run_vim(System(), workload, tlb_capacity=2)
+        assert tiny.measurement.sw_imu_ps > full.measurement.sw_imu_ps
+
+
+class TestShadowConsistency:
+    def test_all_policies_with_small_tlb(self):
+        workload = adpcm_workload(3 * 1024, seed=4)
+        totals = {}
+        for policy in ("fifo", "lru", "random", "second-chance"):
+            result = run_vim(System(), workload, tlb_capacity=3, policy=policy)
+            result.verify()
+            totals[policy] = result.total_ms
+        assert len(totals) == 4
+
+    def test_repeated_runs_deterministic(self):
+        workload = vector_add_workload(500, seed=9)
+        first = run_vim(System(), workload, tlb_capacity=2)
+        second = run_vim(System(), workload, tlb_capacity=2)
+        assert first.measurement.total_ps == second.measurement.total_ps
+        assert first.outputs == second.outputs

@@ -1,0 +1,99 @@
+"""Unit tests for clock domains."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import ClockDomain
+from repro.sim.engine import Engine
+from repro.sim.time import mhz
+
+
+class TestTicking:
+    def test_edges_arrive_at_period_multiples(self, engine: Engine):
+        domain = ClockDomain(engine, "clk", mhz(40.0))
+        times = []
+        domain.attach(lambda: times.append(engine.now))
+        domain.start()
+        engine.run_until(lambda: len(times) >= 3)
+        domain.stop()
+        assert times == [25_000, 50_000, 75_000]
+
+    def test_cycle_counter(self, engine: Engine, clock_40mhz: ClockDomain):
+        clock_40mhz.start()
+        engine.run_until(lambda: clock_40mhz.cycles >= 5)
+        clock_40mhz.stop()
+        assert clock_40mhz.cycles == 5
+
+    def test_handlers_run_in_attachment_order(self, engine: Engine):
+        domain = ClockDomain(engine, "clk", mhz(40.0))
+        log = []
+        domain.attach(lambda: log.append("imu"))
+        domain.attach(lambda: log.append("core"))
+        domain.start()
+        engine.run_until(lambda: len(log) >= 2)
+        domain.stop()
+        assert log[:2] == ["imu", "core"]
+
+    def test_detach_removes_handler(self, engine: Engine):
+        domain = ClockDomain(engine, "clk", mhz(40.0))
+        log = []
+        handler = lambda: log.append("x")  # noqa: E731
+        domain.attach(handler)
+        domain.detach(handler)
+        domain.start()
+        engine.advance(100_000)
+        domain.stop()
+        assert log == []
+
+
+class TestStartStop:
+    def test_double_start_rejected(self, engine: Engine, clock_40mhz: ClockDomain):
+        clock_40mhz.start()
+        with pytest.raises(SimulationError):
+            clock_40mhz.start()
+
+    def test_stop_is_idempotent(self, clock_40mhz: ClockDomain):
+        clock_40mhz.stop()  # never started: no-op
+        clock_40mhz.start()
+        clock_40mhz.stop()
+        clock_40mhz.stop()
+
+    def test_stop_cancels_pending_edge(self, engine: Engine):
+        domain = ClockDomain(engine, "clk", mhz(40.0))
+        ticks = []
+        domain.attach(lambda: ticks.append(engine.now))
+        domain.start()
+        domain.stop()
+        engine.advance(1_000_000)
+        assert ticks == []
+
+    def test_restart_resumes_from_now(self, engine: Engine):
+        domain = ClockDomain(engine, "clk", mhz(40.0))
+        ticks = []
+        domain.attach(lambda: ticks.append(engine.now))
+        domain.start()
+        engine.run_until(lambda: len(ticks) >= 1)
+        domain.stop()
+        engine.advance(1_000_000)  # OS busy; fabric paused
+        domain.start()
+        engine.run_until(lambda: len(ticks) >= 2)
+        domain.stop()
+        assert ticks[1] == ticks[0] + 1_000_000 + domain.period_ps
+
+    def test_two_domains_interleave_by_frequency(self, engine: Engine):
+        fast = ClockDomain(engine, "imu", mhz(24.0))
+        slow = ClockDomain(engine, "core", mhz(6.0))
+        log = []
+        fast.attach(lambda: log.append("f"))
+        slow.attach(lambda: log.append("s"))
+        fast.start()
+        slow.start()
+        engine.run_until(lambda: log.count("s") >= 2)
+        fast.stop()
+        slow.stop()
+        # Roughly four fast edges per slow edge (24 MHz vs 6 MHz).
+        first_slow = log.index("s")
+        assert log[:first_slow].count("f") in (3, 4)
+
+    def test_elapsed_ps(self, clock_40mhz: ClockDomain):
+        assert clock_40mhz.elapsed_ps(4) == 100_000

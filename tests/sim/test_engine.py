@@ -1,0 +1,145 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self, engine: Engine):
+        log = []
+        engine.schedule(30, lambda: log.append("c"))
+        engine.schedule(10, lambda: log.append("a"))
+        engine.schedule(20, lambda: log.append("b"))
+        engine.drain()
+        assert log == ["a", "b", "c"]
+
+    def test_simultaneous_events_run_fifo(self, engine: Engine):
+        log = []
+        for tag in ("first", "second", "third"):
+            engine.schedule(100, lambda tag=tag: log.append(tag))
+        engine.drain()
+        assert log == ["first", "second", "third"]
+
+    def test_now_advances_to_event_time(self, engine: Engine):
+        seen = []
+        engine.schedule(42, lambda: seen.append(engine.now))
+        engine.drain()
+        assert seen == [42]
+        assert engine.now == 42
+
+    def test_negative_delay_rejected(self, engine: Engine):
+        with pytest.raises(SimulationError):
+            engine.schedule(-1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self, engine: Engine):
+        engine.schedule(10, lambda: None)
+        engine.drain()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5, lambda: None)
+
+    def test_events_scheduled_from_callbacks(self, engine: Engine):
+        log = []
+
+        def chain():
+            log.append(engine.now)
+            if engine.now < 30:
+                engine.schedule(10, chain)
+
+        engine.schedule(10, chain)
+        engine.drain()
+        assert log == [10, 20, 30]
+
+
+class TestCancel:
+    def test_cancelled_event_does_not_run(self, engine: Engine):
+        log = []
+        handle = engine.schedule(10, lambda: log.append("x"))
+        engine.cancel(handle)
+        engine.drain()
+        assert log == []
+
+    def test_pending_counts_exclude_cancelled(self, engine: Engine):
+        handle = engine.schedule(10, lambda: None)
+        engine.schedule(20, lambda: None)
+        assert engine.pending() == 2
+        engine.cancel(handle)
+        assert engine.pending() == 1
+
+
+class TestRunUntil:
+    def test_stops_when_predicate_true(self, engine: Engine):
+        state = {"hits": 0}
+
+        def bump():
+            state["hits"] += 1
+            engine.schedule(10, bump)
+
+        engine.schedule(10, bump)
+        assert engine.run_until(lambda: state["hits"] >= 3)
+        assert state["hits"] == 3
+
+    def test_returns_false_when_queue_drains(self, engine: Engine):
+        engine.schedule(10, lambda: None)
+        assert not engine.run_until(lambda: False)
+
+    def test_true_immediately_runs_nothing(self, engine: Engine):
+        log = []
+        engine.schedule(10, lambda: log.append("x"))
+        assert engine.run_until(lambda: True)
+        assert log == []
+
+    def test_max_time_guard_raises(self, engine: Engine):
+        def forever():
+            engine.schedule(10, forever)
+
+        engine.schedule(10, forever)
+        with pytest.raises(SimulationError):
+            engine.run_until(lambda: False, max_time_ps=100)
+        # The engine remains usable and the over-deadline event survives.
+        assert engine.pending() >= 1
+
+
+class TestAdvance:
+    def test_advance_moves_time_without_events(self, engine: Engine):
+        engine.advance(500)
+        assert engine.now == 500
+
+    def test_advance_fires_due_events(self, engine: Engine):
+        log = []
+        engine.schedule(100, lambda: log.append(engine.now))
+        engine.advance(150)
+        assert log == [100]
+        assert engine.now == 150
+
+    def test_advance_leaves_future_events(self, engine: Engine):
+        log = []
+        engine.schedule(100, lambda: log.append("x"))
+        engine.advance(50)
+        assert log == []
+        assert engine.pending() == 1
+        assert engine.now == 50
+
+    def test_negative_advance_rejected(self, engine: Engine):
+        with pytest.raises(SimulationError):
+            engine.advance(-1)
+
+    def test_advance_zero_is_noop(self, engine: Engine):
+        engine.advance(0)
+        assert engine.now == 0
+
+
+class TestDrain:
+    def test_drain_returns_event_count(self, engine: Engine):
+        for _ in range(5):
+            engine.schedule(10, lambda: None)
+        assert engine.drain() == 5
+
+    def test_drain_livelock_guard(self, engine: Engine):
+        def forever():
+            engine.schedule(1, forever)
+
+        engine.schedule(1, forever)
+        with pytest.raises(SimulationError):
+            engine.drain(max_events=100)

@@ -1,0 +1,72 @@
+"""Unit tests for time units and frequencies."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.time import (
+    PS_PER_MS,
+    PS_PER_NS,
+    PS_PER_US,
+    Frequency,
+    mhz,
+    ms,
+    ns,
+    to_ms,
+    to_ns,
+    to_us,
+    us,
+)
+
+
+class TestConversions:
+    def test_ns_to_ps(self):
+        assert ns(1) == PS_PER_NS
+        assert ns(2.5) == 2500
+
+    def test_us_to_ps(self):
+        assert us(1) == PS_PER_US
+
+    def test_ms_to_ps(self):
+        assert ms(1) == PS_PER_MS
+
+    def test_roundtrips(self):
+        assert to_ns(ns(123.0)) == pytest.approx(123.0)
+        assert to_us(us(4.5)) == pytest.approx(4.5)
+        assert to_ms(ms(0.75)) == pytest.approx(0.75)
+
+    def test_rounding(self):
+        # ns() rounds to the nearest picosecond.
+        assert ns(0.0004) == 0
+        assert ns(0.0006) == 1
+
+
+class TestFrequency:
+    def test_period_of_paper_clocks(self):
+        assert mhz(133.0).period_ps == 7519  # 133 MHz ARM
+        assert mhz(40.0).period_ps == 25_000  # adpcm coproc + IMU
+        assert mhz(24.0).period_ps == 41_667  # IDEA IMU/memory
+        assert mhz(6.0).period_ps == 166_667  # IDEA core
+
+    def test_mhz_property(self):
+        assert mhz(40.0).mhz == pytest.approx(40.0)
+
+    def test_cycles_to_ps(self):
+        assert mhz(40.0).cycles_to_ps(4) == 100_000
+
+    def test_ps_to_cycles_floors(self):
+        freq = mhz(40.0)
+        assert freq.ps_to_cycles(99_999) == 3
+        assert freq.ps_to_cycles(100_000) == 4
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(SimulationError):
+            Frequency(0)
+        with pytest.raises(SimulationError):
+            Frequency(-5.0)
+
+    def test_str(self):
+        assert str(mhz(40.0)) == "40MHz"
+
+    def test_extreme_frequency_period_floor(self):
+        # Periods never collapse below one picosecond.
+        assert Frequency(1e13).period_ps == 1

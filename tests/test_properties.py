@@ -1,0 +1,182 @@
+"""Property-based tests of the reproduction's core invariants.
+
+DESIGN.md §6 commits to these: virtualisation never changes functional
+results, the TLB and allocator stay consistent under arbitrary
+workloads, and the measurement decomposition always adds up.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accounting import Bucket
+from repro.core.drivers import adpcm_workload, idea_workload, vector_add_workload
+from repro.core.runner import run_software, run_typical, run_vim
+from repro.core.soc import SocConfig
+from repro.core.system import System
+from repro.errors import CapacityError
+from repro.os.vim.manager import TransferMode
+from repro.os.vim.prefetch import SequentialPrefetcher
+
+#: Hypothesis settings for end-to-end runs (each example simulates a
+#: full system, so keep the counts modest but meaningful).
+E2E = settings(max_examples=15, deadline=None)
+
+
+class TestFunctionalEquivalence:
+    """The paper's implicit contract: the VIM is invisible to results."""
+
+    @given(
+        elements=st.integers(min_value=1, max_value=700),
+        seed=st.integers(min_value=0, max_value=2**16),
+        policy=st.sampled_from(["fifo", "lru", "random", "second-chance"]),
+    )
+    @E2E
+    def test_vector_add_vim_equals_software(self, elements, seed, policy):
+        workload = vector_add_workload(elements, seed=seed)
+        run_vim(System(), workload, policy=policy).verify()
+
+    @given(
+        nbytes=st.integers(min_value=1, max_value=3000),
+        seed=st.integers(min_value=0, max_value=2**16),
+        eager=st.booleans(),
+        pipelined=st.booleans(),
+    )
+    @E2E
+    def test_adpcm_vim_equals_software(self, nbytes, seed, eager, pipelined):
+        workload = adpcm_workload(nbytes, seed=seed)
+        run_vim(
+            System(), workload, eager_mapping=eager, pipelined_imu=pipelined
+        ).verify()
+
+    @given(
+        blocks=st.integers(min_value=1, max_value=300),
+        seed=st.integers(min_value=0, max_value=2**16),
+        mode=st.sampled_from([TransferMode.SINGLE, TransferMode.DOUBLE]),
+    )
+    @E2E
+    def test_idea_vim_equals_software(self, blocks, seed, mode):
+        workload = idea_workload(blocks * 8, seed=seed)
+        run_vim(System(), workload, transfer_mode=mode).verify()
+
+    @given(
+        nbytes=st.integers(min_value=64, max_value=2048),
+        seed=st.integers(min_value=0, max_value=2**16),
+        depth=st.integers(min_value=1, max_value=3),
+        aggressive=st.booleans(),
+    )
+    @E2E
+    def test_prefetch_never_corrupts(self, nbytes, seed, depth, aggressive):
+        workload = adpcm_workload(nbytes, seed=seed)
+        run_vim(
+            System(),
+            workload,
+            prefetcher=SequentialPrefetcher(depth=depth, aggressive=aggressive),
+        ).verify()
+
+    @given(
+        elements=st.integers(min_value=1, max_value=500),
+        tlb_capacity=st.integers(min_value=2, max_value=8),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @E2E
+    def test_tiny_tlb_never_corrupts(self, elements, tlb_capacity, seed):
+        workload = vector_add_workload(elements, seed=seed)
+        run_vim(System(), workload, tlb_capacity=tlb_capacity).verify()
+
+    @given(
+        page_shift=st.integers(min_value=7, max_value=11),
+        pages=st.integers(min_value=3, max_value=12),
+        elements=st.integers(min_value=1, max_value=400),
+    )
+    @E2E
+    def test_any_geometry_never_corrupts(self, page_shift, pages, elements):
+        # Arbitrary DP-RAM geometry: the portability claim as a property.
+        page = 1 << page_shift
+        soc = SocConfig(name="fuzz", dpram_bytes=pages * page, page_bytes=page)
+        workload = vector_add_workload(elements, seed=1)
+        run_vim(System(soc), workload).verify()
+
+
+class TestTypicalEquivalence:
+    @given(
+        elements=st.integers(min_value=1, max_value=1300),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @E2E
+    def test_typical_equals_software_or_capacity_error(self, elements, seed):
+        workload = vector_add_workload(elements, seed=seed)
+        try:
+            run_typical(System(), workload).verify()
+            assert workload.total_bytes <= 16 * 1024
+        except CapacityError:
+            assert workload.total_bytes > 16 * 1024
+
+
+class TestMeasurementInvariants:
+    @given(
+        nbytes=st.integers(min_value=1, max_value=4000),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @E2E
+    def test_decomposition_adds_up(self, nbytes, seed):
+        workload = adpcm_workload(nbytes, seed=seed)
+        meas = run_vim(System(), workload).measurement
+        assert meas.total_ps == meas.hw_ps + sum(meas.buckets.values())
+        assert meas.hw_ps > 0
+        assert all(v >= 0 for v in meas.buckets.values())
+
+    @given(elements=st.integers(min_value=1, max_value=300))
+    @settings(max_examples=10, deadline=None)
+    def test_fault_free_runs_have_minimal_imu_time(self, elements):
+        workload = vector_add_workload(elements, seed=1)
+        result = run_vim(System(), workload)
+        meas = result.measurement
+        if meas.counters.page_faults == 0:
+            # Without faults the only SW_IMU cost is TLB setup, which is
+            # bounded by one update per DP-RAM page plus the param page.
+            per_update = System().costs.tlb_update_cycles
+            bound = (8 + 1) * per_update * System().soc.cpu_frequency.period_ps
+            assert meas.sw_imu_ps <= bound
+
+    @given(
+        nbytes=st.integers(min_value=2048, max_value=6000),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @E2E
+    def test_counters_consistent(self, nbytes, seed):
+        workload = adpcm_workload(nbytes, seed=seed)
+        meas = run_vim(System(), workload).measurement
+        counters = meas.counters
+        assert counters.writebacks <= counters.evictions + counters.page_faults + 16
+        assert counters.tlb_hits <= counters.tlb_lookups
+        # Every fault raised an interrupt; plus exactly one done IRQ.
+        assert counters.interrupts == counters.page_faults + 1
+
+
+class TestSoftwareReferenceProperties:
+    @given(
+        elements=st.integers(min_value=1, max_value=100),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_sw_runs_are_deterministic(self, elements, seed):
+        workload = vector_add_workload(elements, seed=seed)
+        first = run_software(System(), workload)
+        second = run_software(System(), workload)
+        assert first.outputs == second.outputs
+        assert first.measurement.total_ps == second.measurement.total_ps
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_runs_are_reproducible_end_to_end(self, seed):
+        workload = adpcm_workload(512, seed=seed)
+        first = run_vim(System(), workload)
+        second = run_vim(System(), workload)
+        assert first.outputs == second.outputs
+        assert first.measurement.total_ps == second.measurement.total_ps
+        assert (
+            first.measurement.counters.page_faults
+            == second.measurement.counters.page_faults
+        )

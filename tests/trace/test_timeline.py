@@ -1,0 +1,103 @@
+"""Unit tests for waveform capture and rendering."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.signal import Signal
+from repro.trace.timeline import SignalTrace, WaveformProbe, render_cycles
+
+
+class TestSignalTrace:
+    def test_records_changes(self):
+        trace = SignalTrace("s", 8)
+        trace.record(0, 1)
+        trace.record(10, 2)
+        assert trace.value_at(0) == 1
+        assert trace.value_at(9) == 1
+        assert trace.value_at(10) == 2
+        assert trace.value_at(999) == 2
+
+    def test_same_time_overwrites(self):
+        trace = SignalTrace("s", 8)
+        trace.record(5, 1)
+        trace.record(5, 2)
+        assert trace.value_at(5) == 2
+        assert len(trace.times) == 1
+
+    def test_backwards_time_rejected(self):
+        trace = SignalTrace("s", 8)
+        trace.record(10, 1)
+        with pytest.raises(SimulationError):
+            trace.record(5, 2)
+
+    def test_value_before_first_record_rejected(self):
+        trace = SignalTrace("s", 8)
+        trace.record(10, 1)
+        with pytest.raises(SimulationError):
+            trace.value_at(5)
+
+
+class TestWaveformProbe:
+    def test_captures_initial_and_changes(self):
+        engine = Engine()
+        sig = Signal("cp.addr", width=8, init=3)
+        probe = WaveformProbe(engine, [sig])
+        engine.advance(100)
+        sig.set(7)
+        trace = probe.trace("cp.addr")
+        assert trace.value_at(0) == 3
+        assert trace.value_at(100) == 7
+
+    def test_detach_stops_recording(self):
+        engine = Engine()
+        sig = Signal("s", width=8)
+        probe = WaveformProbe(engine, [sig])
+        probe.detach()
+        engine.advance(10)
+        sig.set(9)
+        assert probe.trace("s").value_at(10) == 0
+
+    def test_unknown_trace_rejected(self):
+        probe = WaveformProbe(Engine(), [])
+        with pytest.raises(SimulationError):
+            probe.trace("nope")
+
+
+class TestRenderCycles:
+    def _probe(self):
+        engine = Engine()
+        bit = Signal("bit", width=1)
+        bus = Signal("bus", width=16)
+        probe = WaveformProbe(engine, [bit, bus])
+        engine.advance(100)
+        bit.set(1)
+        bus.set(0xAB)
+        return probe
+
+    def test_renders_bits_as_bars(self):
+        probe = self._probe()
+        text = render_cycles(probe, start_ps=50, period_ps=100, num_cycles=2)
+        lines = text.splitlines()
+        assert lines[0].startswith("edge")
+        bit_line = next(line for line in lines if line.startswith("bit"))
+        assert "▁▁▁" in bit_line and "███" in bit_line
+
+    def test_renders_buses_as_hex(self):
+        probe = self._probe()
+        text = render_cycles(probe, start_ps=150, period_ps=100, num_cycles=1)
+        assert "ab" in text
+
+    def test_signal_selection_and_order(self):
+        probe = self._probe()
+        text = render_cycles(
+            probe, start_ps=50, period_ps=100, num_cycles=1, signals=["bus"]
+        )
+        assert "bit" not in text
+
+    def test_invalid_geometry_rejected(self):
+        probe = self._probe()
+        with pytest.raises(SimulationError):
+            render_cycles(probe, 0, 100, 0)
+        with pytest.raises(SimulationError):
+            render_cycles(probe, 0, 0, 1)

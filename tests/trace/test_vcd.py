@@ -1,0 +1,54 @@
+"""Unit tests for the VCD writer."""
+
+from repro.sim.engine import Engine
+from repro.sim.signal import Signal
+from repro.trace.timeline import WaveformProbe
+from repro.trace.vcd import _identifier, dump_vcd, write_vcd
+
+
+def make_probe():
+    engine = Engine()
+    bit = Signal("hit", width=1)
+    bus = Signal("addr", width=16)
+    probe = WaveformProbe(engine, [bit, bus])
+    engine.advance(25_000)
+    bit.set(1)
+    bus.set(0x1F)
+    engine.advance(25_000)
+    bit.set(0)
+    return probe
+
+
+class TestIdentifiers:
+    def test_unique_and_printable(self):
+        ids = {_identifier(i) for i in range(500)}
+        assert len(ids) == 500
+        assert all(ch.isprintable() and ch != " " for ident in ids for ch in ident)
+
+
+class TestDump:
+    def test_header_structure(self):
+        text = dump_vcd(make_probe(), module="imu")
+        assert "$timescale 1ps $end" in text
+        assert "$scope module imu $end" in text
+        assert "$enddefinitions $end" in text
+
+    def test_vars_declared_with_width(self):
+        text = dump_vcd(make_probe())
+        assert "$var wire 1" in text
+        assert "$var wire 16" in text
+
+    def test_changes_emitted_in_time_order(self):
+        text = dump_vcd(make_probe())
+        stamps = [int(line[1:]) for line in text.splitlines() if line.startswith("#")]
+        assert stamps == sorted(stamps)
+        assert 25_000 in stamps and 50_000 in stamps
+
+    def test_bus_values_binary(self):
+        text = dump_vcd(make_probe())
+        assert "b11111 " in text  # 0x1F
+
+    def test_write_vcd(self, tmp_path):
+        path = tmp_path / "trace.vcd"
+        write_vcd(make_probe(), str(path))
+        assert path.read_text().startswith("$date")
