@@ -10,7 +10,7 @@ expected shape is a U with the paper's 2 KB at or near the bottom.
 
 from conftest import emit
 
-from repro.analysis.experiments import ablation_page_size
+from repro.exp import ablation_page_size
 from repro.analysis.tables import format_table
 
 

@@ -9,7 +9,7 @@ recovers.
 
 from conftest import emit
 
-from repro.analysis.experiments import ablation_pipelined
+from repro.exp import ablation_pipelined
 from repro.analysis.tables import format_table
 from repro.core.drivers import adpcm_workload, idea_workload
 

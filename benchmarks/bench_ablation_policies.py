@@ -8,7 +8,7 @@ fault-heavy 8 KB adpcm run and on the 32 KB IDEA run.
 
 from conftest import emit
 
-from repro.analysis.experiments import ablation_policies
+from repro.exp import ablation_policies
 from repro.analysis.tables import format_table
 from repro.core.drivers import adpcm_workload, idea_workload
 

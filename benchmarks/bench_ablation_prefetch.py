@@ -14,7 +14,7 @@ execution"): the same prefetches now also save time.
 
 from conftest import emit
 
-from repro.analysis.experiments import ablation_prefetch
+from repro.exp import ablation_prefetch
 from repro.analysis.tables import format_table
 from repro.core.drivers import adpcm_workload
 

@@ -8,7 +8,7 @@ paper's design rests on the full-size CAM.
 
 from conftest import emit
 
-from repro.analysis.experiments import ablation_tlb_capacity
+from repro.exp import ablation_tlb_capacity
 from repro.analysis.tables import format_table
 from repro.core.drivers import adpcm_workload
 

@@ -9,7 +9,7 @@ buys on both applications.
 
 from conftest import emit
 
-from repro.analysis.experiments import ablation_transfers
+from repro.exp import ablation_transfers
 from repro.analysis.tables import format_table
 from repro.core.drivers import adpcm_workload, idea_workload
 

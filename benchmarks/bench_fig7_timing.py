@@ -9,7 +9,7 @@ for both the prototype IMU and the announced pipelined variant.
 
 from conftest import emit
 
-from repro.analysis.experiments import figure7
+from repro.exp import figure7
 
 
 def test_fig7_read_access_timing(benchmark):

@@ -8,7 +8,7 @@ coprocessor (stacked into HW, SW(DP), SW(IMU)); speedups annotated
 from conftest import emit
 
 from repro.analysis.charts import stacked_bar_chart
-from repro.analysis.experiments import figure8
+from repro.exp import figure8
 from repro.analysis.tables import format_table
 
 

@@ -8,7 +8,7 @@ coprocessor while it fits, ~11-12x for the VIM version at every size.
 
 from conftest import emit
 
-from repro.analysis.experiments import figure9
+from repro.exp import figure9
 from repro.analysis.tables import format_table
 
 #: Paper-reported software times (ms) per input size (kB).

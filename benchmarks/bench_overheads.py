@@ -10,7 +10,7 @@ around 20%)."
 
 from conftest import emit
 
-from repro.analysis.experiments import imu_overhead_rows, translation_overhead
+from repro.exp import imu_overhead_rows, translation_overhead
 from repro.analysis.tables import format_table
 
 

@@ -10,7 +10,7 @@ the working set and the fault count drops to zero.
 
 from conftest import emit
 
-from repro.analysis.experiments import portability
+from repro.exp import portability
 from repro.analysis.tables import format_table
 from repro.core.drivers import adpcm_workload, idea_workload
 

@@ -6,9 +6,7 @@ regressions in simulator performance are visible in CI.  Unlike the
 figure benches these use real repeated timing rounds.
 """
 
-from repro.core.drivers import vector_add_workload
-from repro.core.runner import run_vim
-from repro.core.system import System
+from repro.exp import CellConfig, run_cell, run_sweep
 from repro.sim.clock import ClockDomain
 from repro.sim.engine import Engine
 from repro.sim.time import mhz
@@ -44,11 +42,25 @@ def test_micro_clock_domain_ticks(benchmark):
     assert benchmark(tick_10k) >= 10_000
 
 
-def test_micro_full_vim_run(benchmark):
-    workload = vector_add_workload(64, seed=1)
+def test_micro_full_vim_cell(benchmark):
+    config = CellConfig(app="vadd", input_bytes=64 * 4, seed=1)
 
     def run():
-        return run_vim(System(), workload)
+        return run_cell(config)
 
     result = benchmark(run)
-    result.verify()
+    assert result.vim_speedup > 0
+
+
+def test_micro_serial_sweep_dispatch(benchmark):
+    # Cost of the sweep engine itself (expansion, hashing, dispatch) on
+    # top of the two cells it runs.
+    configs = [
+        CellConfig(app="vadd", input_bytes=64 * 4, seed=seed) for seed in (1, 2)
+    ]
+
+    def run():
+        return run_sweep(configs, jobs=1)
+
+    result = benchmark(run)
+    assert result.executed == len(configs)

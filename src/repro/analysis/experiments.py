@@ -1,437 +1,52 @@
 """Experiment drivers for every figure and claim in the paper.
 
-Each function regenerates one artefact of the evaluation section:
+.. deprecated:: kept as a compatibility alias.
 
-=============  =====================================================
-``figure7``    timing diagram of a translated read (data on edge 4)
-``figure8``    adpcmdecode: SW vs VIM-based at 2/4/8 KB
-``figure9``    IDEA: SW vs typical vs VIM at 4/8/16/32 KB
-``imu_overhead_rows``       §4.1: SW(IMU) <= 2.5 % of total
-``translation_overhead``    §4.1: translation ~= 20 % of HW (IDEA)
-``ablation_*``  pipelined IMU, policies, transfer modes, prefetch
-``portability`` same binaries on EPXA1 / EPXA4 / EPXA10
-=============  =====================================================
-
-The benchmark harness under ``benchmarks/`` is a thin printing wrapper
-around these, so the same code paths are unit-tested.
+The implementations moved to :mod:`repro.exp.api`, where each driver
+is a thin sweep over the :mod:`repro.exp` scenario engine (declarative
+grids, ``multiprocessing`` execution, incremental result caching).
+This module re-exports the public names so existing imports keep
+working; new code should import from :mod:`repro.exp` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.coproc.base import Behavior, Coprocessor
-from repro.core.drivers import adpcm_workload, idea_workload
-from repro.core.runner import RunResult, WorkloadSpec, run_software, run_typical, run_vim
-from repro.core.soc import EPXA1, EPXA4, EPXA10, SocConfig
-from repro.core.system import System
-from repro.errors import CapacityError
-from repro.imu.imu import Imu
-from repro.os.vim.manager import TransferMode
-from repro.os.vim.policies import policy_names
-from repro.os.vim.prefetch import SequentialPrefetcher
-from repro.sim.clock import ClockDomain
-from repro.sim.time import mhz, to_ms
-from repro.trace.timeline import WaveformProbe, render_cycles
-
-# ----------------------------------------------------------------------
-# Figure 7 — translated read access timing
-# ----------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class Figure7Result:
-    """One captured read access through the IMU."""
-
-    diagram: str
-    data_ready_edge: int
-    value_read: int
-    access_cycles: int
-    pipelined: bool
-
-
-class _OneReadCore(Coprocessor):
-    """A minimal core issuing exactly one read (for the timing capture)."""
-
-    name = "one-read"
-
-    def __init__(self) -> None:
-        super().__init__()
-        self.value: int | None = None
-
-    def behavior(self) -> Behavior:
-        self.value = yield from self.read(0, 4)
-
-
-def figure7(access_cycles: int = 4, pipelined: bool = False) -> Figure7Result:
-    """Capture the waveform of Figure 7: one translated read.
-
-    The TLB is pre-loaded so the access hits; the returned
-    ``data_ready_edge`` counts rising edges from the request edge
-    inclusive — 4 for the paper's IMU.
-    """
-    system = System()
-    imu = Imu(
-        system.dpram,
-        system.interrupts,
-        access_cycles=access_cycles,
-        pipelined=pipelined,
-    )
-    core = _OneReadCore()
-    core.bind(imu)
-    frame = 2
-    imu.tlb.insert(0, 0, frame)
-    system.dpram.write_word(system.dpram.page_base(frame) + 4, 0x2A)
-    domain = ClockDomain(system.engine, "fabric", mhz(40.0))
-    domain.attach(imu.tick)
-    domain.attach(core.tick)
-    ports = imu.ports
-    probe = WaveformProbe(
-        system.engine,
-        [ports.cp_addr, ports.cp_access, ports.cp_tlbhit, ports.cp_din],
-    )
-    imu.start_coprocessor()
-    domain.start()
-    system.engine.run_until(
-        lambda: core.finished, max_time_ps=100 * domain.period_ps
-    )
-    domain.stop()
-    probe.detach()
-    hit_trace = probe.trace("cp.cp_tlbhit")
-    rise_time = next(
-        t for t, v in zip(hit_trace.times, hit_trace.values) if v == 1
-    )
-    data_ready_edge = rise_time // domain.period_ps
-    diagram = render_cycles(
-        probe,
-        start_ps=domain.period_ps,
-        period_ps=domain.period_ps,
-        num_cycles=max(6, data_ready_edge + 2),
-        signals=["cp.cp_addr", "cp.cp_access", "cp.cp_tlbhit", "cp.cp_din"],
-    )
-    return Figure7Result(
-        diagram=diagram,
-        data_ready_edge=data_ready_edge,
-        value_read=core.value if core.value is not None else -1,
-        access_cycles=access_cycles,
-        pipelined=pipelined,
-    )
-
-
-# ----------------------------------------------------------------------
-# Figures 8 and 9 — application execution times
-# ----------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class AppRow:
-    """One input-size point of Figure 8 or 9."""
-
-    label: str
-    input_kb: int
-    sw_ms: float
-    vim_ms: float
-    hw_ms: float
-    sw_dp_ms: float
-    sw_imu_ms: float
-    sw_other_ms: float
-    vim_speedup: float
-    page_faults: int
-    typical_ms: float | None = None
-    typical_speedup: float | None = None
-    typical_fits: bool = True
-
-    @property
-    def sw_imu_fraction(self) -> float:
-        """SW(IMU) share of the VIM total (the <= 2.5 % claim)."""
-        return self.sw_imu_ms / self.vim_ms if self.vim_ms else 0.0
-
-
-def _vim_row(
-    label: str,
-    input_kb: int,
-    workload: WorkloadSpec,
-    with_typical: bool,
-    soc: SocConfig = EPXA1,
-    **vim_kwargs,
-) -> AppRow:
-    sw = run_software(System(soc), workload)
-    vim = run_vim(System(soc), workload, **vim_kwargs)
-    vim.verify()
-    meas = vim.measurement
-    typical_ms = None
-    typical_speedup = None
-    typical_fits = True
-    if with_typical:
-        try:
-            typical = run_typical(System(soc), workload)
-            typical.verify()
-            typical_ms = typical.total_ms
-            typical_speedup = typical.measurement.speedup_over(sw.measurement)
-        except CapacityError:
-            typical_fits = False
-    return AppRow(
-        label=label,
-        input_kb=input_kb,
-        sw_ms=sw.total_ms,
-        vim_ms=vim.total_ms,
-        hw_ms=to_ms(meas.hw_ps),
-        sw_dp_ms=to_ms(meas.sw_dp_ps),
-        sw_imu_ms=to_ms(meas.sw_imu_ps),
-        sw_other_ms=to_ms(meas.sw_other_ps),
-        vim_speedup=meas.speedup_over(sw.measurement),
-        page_faults=meas.counters.page_faults,
-        typical_ms=typical_ms,
-        typical_speedup=typical_speedup,
-        typical_fits=typical_fits,
-    )
-
-
-def figure8(sizes_kb: tuple[int, ...] = (2, 4, 8), **vim_kwargs) -> list[AppRow]:
-    """adpcmdecode at the paper's input sizes (SW and VIM versions)."""
-    return [
-        _vim_row(
-            f"adpcm-{kb}KB", kb, adpcm_workload(kb * 1024), with_typical=False,
-            **vim_kwargs,
-        )
-        for kb in sizes_kb
-    ]
-
-
-def figure9(
-    sizes_kb: tuple[int, ...] = (4, 8, 16, 32), **vim_kwargs
-) -> list[AppRow]:
-    """IDEA at the paper's input sizes (SW, typical, and VIM versions)."""
-    return [
-        _vim_row(
-            f"idea-{kb}KB", kb, idea_workload(kb * 1024), with_typical=True,
-            **vim_kwargs,
-        )
-        for kb in sizes_kb
-    ]
-
-
-# ----------------------------------------------------------------------
-# §4.1 textual claims
-# ----------------------------------------------------------------------
-
-
-def imu_overhead_rows(
-    adpcm_sizes: tuple[int, ...] = (2, 4, 8),
-    idea_sizes: tuple[int, ...] = (4, 8, 16, 32),
-) -> list[tuple[str, float]]:
-    """SW(IMU) fraction of total time for every measured point.
-
-    The paper: "the software execution time for IMU management ... is
-    up to 2.5% of the total execution time."
-    """
-    rows = [(r.label, r.sw_imu_fraction) for r in figure8(adpcm_sizes)]
-    rows += [(r.label, r.sw_imu_fraction) for r in figure9(idea_sizes)]
-    return rows
-
-
-@dataclass(frozen=True)
-class TranslationOverheadResult:
-    """HW-time share attributable to address translation."""
-
-    label: str
-    hw_ms: float
-    ideal_hw_ms: float
-
-    @property
-    def overhead_fraction(self) -> float:
-        """(translated - translation-free) / translated HW time."""
-        return 1.0 - self.ideal_hw_ms / self.hw_ms if self.hw_ms else 0.0
-
-
-def translation_overhead(
-    workload: WorkloadSpec | None = None,
-) -> TranslationOverheadResult:
-    """Translation overhead of the IDEA hardware time (§4.1, ~20 %).
-
-    Measured by comparing the normal IMU against an idealised one with
-    single-cycle translation — same datapath, same clock-domain
-    synchronisers, no TLB translation latency.
-    """
-    workload = workload or idea_workload(8 * 1024)
-    normal = run_vim(System(), workload)
-    normal.verify()
-    ideal = run_vim(System(), workload, access_cycles=2)
-    ideal.verify()
-    return TranslationOverheadResult(
-        label=workload.name,
-        hw_ms=to_ms(normal.measurement.hw_ps),
-        ideal_hw_ms=to_ms(ideal.measurement.hw_ps),
-    )
-
-
-# ----------------------------------------------------------------------
-# Ablations
-# ----------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class AblationRow:
-    """One configuration point of an ablation sweep."""
-
-    label: str
-    total_ms: float
-    hw_ms: float
-    sw_dp_ms: float
-    sw_imu_ms: float
-    page_faults: int
-    prefetches: int = 0
-
-
-def _ablation_row(label: str, result: RunResult) -> AblationRow:
-    result.verify()
-    meas = result.measurement
-    return AblationRow(
-        label=label,
-        total_ms=result.total_ms,
-        hw_ms=to_ms(meas.hw_ps),
-        sw_dp_ms=to_ms(meas.sw_dp_ps),
-        sw_imu_ms=to_ms(meas.sw_imu_ps),
-        page_faults=meas.counters.page_faults,
-        prefetches=meas.counters.prefetches,
-    )
-
-
-def ablation_pipelined(workload: WorkloadSpec | None = None) -> list[AblationRow]:
-    """Multi-cycle vs pipelined IMU (the paper's announced improvement)."""
-    workload = workload or idea_workload(8 * 1024)
-    return [
-        _ablation_row("multi-cycle", run_vim(System(), workload)),
-        _ablation_row("pipelined", run_vim(System(), workload, pipelined_imu=True)),
-    ]
-
-
-def ablation_policies(workload: WorkloadSpec | None = None) -> list[AblationRow]:
-    """The replacement policies §3.3 enumerates, on one faulting run."""
-    workload = workload or adpcm_workload(8 * 1024)
-    return [
-        _ablation_row(name, run_vim(System(), workload, policy=name))
-        for name in policy_names()
-    ]
-
-
-def ablation_transfers(workload: WorkloadSpec | None = None) -> list[AblationRow]:
-    """Double-transfer (measured) vs single-transfer (announced) VIM."""
-    workload = workload or adpcm_workload(8 * 1024)
-    return [
-        _ablation_row(
-            mode.name.lower(),
-            run_vim(System(), workload, transfer_mode=mode),
-        )
-        for mode in (TransferMode.DOUBLE, TransferMode.SINGLE)
-    ]
-
-
-def ablation_prefetch(workload: WorkloadSpec | None = None) -> list[AblationRow]:
-    """No prefetch vs conservative / aggressive / overlapped prefetch.
-
-    The *overlapped* row models the paper's full future-work vision:
-    prefetch copies proceed concurrently with coprocessor execution
-    ("the latter allowing overlapping of processor and coprocessor
-    execution"), so avoided faults turn into saved time.
-    """
-    workload = workload or adpcm_workload(8 * 1024)
-    return [
-        _ablation_row("none", run_vim(System(), workload)),
-        _ablation_row(
-            "sequential",
-            run_vim(System(), workload, prefetcher=SequentialPrefetcher()),
-        ),
-        _ablation_row(
-            "aggressive",
-            run_vim(
-                System(),
-                workload,
-                prefetcher=SequentialPrefetcher(aggressive=True),
-            ),
-        ),
-        _ablation_row(
-            "overlapped",
-            run_vim(
-                System(),
-                workload,
-                prefetcher=SequentialPrefetcher(aggressive=True, overlapped=True),
-            ),
-        ),
-    ]
-
-
-def ablation_page_size(
-    input_bytes: int = 8 * 1024,
-    page_sizes: tuple[int, ...] = (512, 1024, 2048, 4096),
-) -> list[AblationRow]:
-    """Page-size sweep at fixed 16 KB DP-RAM capacity.
-
-    The classic virtual-memory trade-off transplanted to the interface
-    memory: small pages mean more faults (more OS round-trips), large
-    pages mean fewer faults but coarser copies and fewer frames to
-    allocate.  Not measured in the paper (the prototype fixes 2 KB);
-    this quantifies how load-bearing that choice is.
-    """
-    rows = []
-    for page in page_sizes:
-        soc = SocConfig(name=f"page-{page}", dpram_bytes=16 * 1024, page_bytes=page)
-        workload = adpcm_workload(input_bytes)
-        rows.append(
-            _ablation_row(f"{page}B", run_vim(System(soc), workload))
-        )
-    return rows
-
-
-def ablation_tlb_capacity(
-    workload: WorkloadSpec | None = None,
-    capacities: tuple[int, ...] = (2, 4, 8),
-) -> list[AblationRow]:
-    """Shrinking the TLB below one-entry-per-frame (extra faults)."""
-    workload = workload or adpcm_workload(4 * 1024)
-    return [
-        _ablation_row(
-            f"tlb-{capacity}",
-            run_vim(System(), workload, tlb_capacity=capacity),
-        )
-        for capacity in capacities
-    ]
-
-
-# ----------------------------------------------------------------------
-# Portability (§4: "only recompiling the module")
-# ----------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class PortabilityRow:
-    """One SoC preset running the unchanged application."""
-
-    soc: str
-    dpram_kb: int
-    total_ms: float
-    page_faults: int
-
-
-def portability(workload: WorkloadSpec | None = None) -> list[PortabilityRow]:
-    """Run the identical workload on every SoC preset.
-
-    Nothing about the workload (C-side mapping or core FSM) changes;
-    only the platform description does — the paper's portability claim.
-    Bigger dual-port memories absorb the working set and the fault
-    count drops to zero.
-    """
-    workload = workload or adpcm_workload(8 * 1024)
-    rows = []
-    for soc in (EPXA1, EPXA4, EPXA10):
-        result = run_vim(System(soc), workload)
-        result.verify()
-        rows.append(
-            PortabilityRow(
-                soc=soc.name,
-                dpram_kb=soc.dpram_bytes // 1024,
-                total_ms=result.total_ms,
-                page_faults=result.measurement.counters.page_faults,
-            )
-        )
-    return rows
+from repro.exp.api import (
+    AblationRow,
+    AppRow,
+    Figure7Result,
+    PortabilityRow,
+    TranslationOverheadResult,
+    ablation_page_size,
+    ablation_pipelined,
+    ablation_policies,
+    ablation_prefetch,
+    ablation_tlb_capacity,
+    ablation_transfers,
+    figure7,
+    figure8,
+    figure9,
+    imu_overhead_rows,
+    portability,
+    translation_overhead,
+)
+
+__all__ = [
+    "AblationRow",
+    "AppRow",
+    "Figure7Result",
+    "PortabilityRow",
+    "TranslationOverheadResult",
+    "ablation_page_size",
+    "ablation_pipelined",
+    "ablation_policies",
+    "ablation_prefetch",
+    "ablation_tlb_capacity",
+    "ablation_transfers",
+    "figure7",
+    "figure8",
+    "figure9",
+    "imu_overhead_rows",
+    "portability",
+    "translation_overhead",
+]

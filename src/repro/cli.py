@@ -9,24 +9,28 @@ Usage::
     python -m repro ablations [NAME]      # one or all ablations
     python -m repro portability           # EPXA1/4/10 sweep
     python -m repro run adpcm --kb 8      # one workload, all versions
+    python -m repro sweep --app adpcm --kb 4 8 --policy fifo lru \\
+        --jobs 4 --cache .sweep-cache     # any design-space grid
 
-The heavy lifting lives in :mod:`repro.analysis.experiments`; the CLI
-is a formatting shell around it, so everything printed here is also
-unit-tested.
+The heavy lifting lives in :mod:`repro.exp`; the CLI is a formatting
+shell around it, so everything printed here is also unit-tested.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import Callable
 
-from repro.analysis import experiments as exp
 from repro.analysis.charts import stacked_bar_chart
 from repro.analysis.tables import format_table
 from repro.core.drivers import adpcm_workload, idea_workload, vector_add_workload
 from repro.core.runner import run_software, run_typical, run_vim
+from repro.core.soc import PRESETS
 from repro.core.system import System
 from repro.errors import CapacityError, ReproError
+from repro import exp
+from repro.exp.spec import APPS, PREFETCHES, TRANSFERS, SweepSpec
 
 #: Ablation registry: name -> (driver, row headers, row formatter).
 _ABLATIONS: dict[str, Callable] = {
@@ -108,6 +112,39 @@ def _print_portability(args: argparse.Namespace) -> None:
     ))
 
 
+def _print_sweep(args: argparse.Namespace) -> None:
+    spec = SweepSpec(
+        apps=tuple(args.app),
+        input_bytes=tuple(kb * 1024 for kb in args.kb),
+        seeds=tuple(args.seed),
+        socs=tuple(args.soc),
+        page_bytes=tuple(args.page) if args.page else (None,),
+        policies=tuple(args.policy),
+        transfers=tuple(args.transfer),
+        prefetches=tuple(args.prefetch),
+        tlb_capacities=tuple(args.tlb) if args.tlb else (None,),
+        pipelined=(False, True) if args.pipelined_too else (False,),
+        with_typical=args.typical,
+    )
+    result = exp.run_sweep(spec, jobs=args.jobs, cache_dir=args.cache)
+    print(format_table(
+        ["cell", "total ms", "hw ms", "SW(DP) ms", "SW(IMU) ms", "speedup",
+         "faults", "prefetches"],
+        [[r.label, r.vim_ms, r.hw_ms, r.sw_dp_ms, r.sw_imu_ms, r.vim_speedup,
+          r.page_faults, r.prefetches] for r in result.rows],
+    ))
+    print(
+        f"\n{len(result)} cells: {result.executed} simulated, "
+        f"{result.cached} from cache"
+    )
+    if args.json:
+        payload = [r.to_dict() for r in result.rows]
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=1)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+
+
 _WORKLOADS = {
     "adpcm": lambda kb: adpcm_workload(kb * 1024),
     "idea": lambda kb: idea_workload(kb * 1024),
@@ -174,6 +211,39 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("app", choices=sorted(_WORKLOADS))
     run.add_argument("--kb", type=int, default=8)
     run.set_defaults(func=_print_run)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a design-space grid (parallel, cached)"
+    )
+    sweep.add_argument("--app", nargs="+", default=["adpcm"], choices=APPS,
+                       help="workload axis")
+    sweep.add_argument("--kb", type=int, nargs="+", default=[8],
+                       help="input-size axis (KB)")
+    sweep.add_argument("--seed", type=int, nargs="+", default=[1],
+                       help="dataset seed axis")
+    sweep.add_argument("--soc", nargs="+", default=["EPXA1"],
+                       choices=sorted(PRESETS), help="SoC preset axis")
+    sweep.add_argument("--page", type=int, nargs="+", default=None,
+                       help="page-size axis (bytes; default: SoC preset)")
+    sweep.add_argument("--policy", nargs="+", default=["fifo"],
+                       help="replacement-policy axis")
+    sweep.add_argument("--transfer", nargs="+", default=["double"],
+                       choices=TRANSFERS, help="transfer-mode axis")
+    sweep.add_argument("--prefetch", nargs="+", default=["none"],
+                       choices=PREFETCHES, help="prefetch axis")
+    sweep.add_argument("--tlb", type=int, nargs="+", default=None,
+                       help="TLB-capacity axis (default: one per frame)")
+    sweep.add_argument("--pipelined-too", action="store_true",
+                       help="also run every cell with the pipelined IMU")
+    sweep.add_argument("--typical", action="store_true",
+                       help="also run the typical (non-VIM) coprocessor")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (cells are independent)")
+    sweep.add_argument("--cache", default=None, metavar="DIR",
+                       help="result-cache directory (re-runs are incremental)")
+    sweep.add_argument("--json", default=None, metavar="PATH",
+                       help="also dump the rows as JSON")
+    sweep.set_defaults(func=_print_sweep)
     return parser
 
 

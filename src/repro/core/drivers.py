@@ -50,6 +50,7 @@ def adpcm_workload(input_bytes: int, seed: int = 1) -> WorkloadSpec:
         params=(input_bytes,),
         sw_cycles=adpcm_app.sw_cycles(input_bytes),
         reference=reference,
+        cell_key=("adpcm", input_bytes, seed),
     )
 
 
@@ -99,6 +100,7 @@ def idea_workload(
         params=(num_blocks, *subkeys),
         sw_cycles=idea_app.sw_cycles(input_bytes),
         reference=reference,
+        cell_key=("idea-dec" if decrypt else "idea", input_bytes, seed),
     )
 
 
@@ -133,6 +135,7 @@ def adpcm_encode_workload(num_samples: int, seed: int = 1) -> WorkloadSpec:
         params=(num_samples,),
         sw_cycles=num_samples * (adpcm_app.SW_CYCLES_PER_SAMPLE + 40),
         reference=reference,
+        cell_key=("adpcm-enc", num_samples * 2, seed),
     )
 
 
@@ -163,4 +166,5 @@ def vector_add_workload(num_elements: int, seed: int = 1) -> WorkloadSpec:
         params=(num_elements,),
         sw_cycles=vectors_app.sw_cycles(num_elements),
         reference=reference,
+        cell_key=("vadd", num_elements * 4, seed),
     )

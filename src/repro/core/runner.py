@@ -63,6 +63,10 @@ class WorkloadSpec:
     params: tuple[int, ...]
     sw_cycles: int
     reference: Callable[[], dict[int, bytes]]
+    #: (app, input_bytes, seed) handle that rebuilds this workload in a
+    #: sweep worker process (set by the repro.core.drivers builders;
+    #: None for hand-made specs, which then run in-process only).
+    cell_key: tuple[str, int, int] | None = None
 
     @property
     def total_bytes(self) -> int:

@@ -1,0 +1,75 @@
+"""The sweep/scenario engine: every experiment is a grid of cells.
+
+The paper's evaluation is a design space — {workload} x {input size} x
+{page size} x {policy} x {transfer mode} x {prefetch} x {TLB capacity}
+x {SoC} — and each point of it is an independent, deterministic
+simulation.  This package makes that structure first-class:
+
+* :class:`~repro.exp.spec.CellConfig` — one grid point, a frozen
+  bag of primitives (picklable, hashable, JSON-serialisable);
+* :class:`~repro.exp.spec.SweepSpec` — a declarative axes product
+  that expands to a list of cells;
+* :func:`~repro.exp.cell.run_cell` — execute one cell (software
+  reference, VIM-based run, optionally the typical coprocessor);
+* :func:`~repro.exp.sweep.run_sweep` — execute a whole grid across a
+  ``multiprocessing`` pool, with an incremental JSON result cache
+  keyed by config hash;
+* :mod:`~repro.exp.api` — the paper's figure/ablation drivers as thin
+  sweeps over this engine.
+
+Adding a scenario to the repository means adding an axis value here,
+not writing a new driver file.
+"""
+
+from repro.exp.api import (
+    AblationRow,
+    AppRow,
+    Figure7Result,
+    PortabilityRow,
+    TranslationOverheadResult,
+    ablation_page_size,
+    ablation_pipelined,
+    ablation_policies,
+    ablation_prefetch,
+    ablation_tlb_capacity,
+    ablation_transfers,
+    figure7,
+    figure8,
+    figure9,
+    imu_overhead_rows,
+    portability,
+    translation_overhead,
+)
+from repro.exp.cache import SweepCache
+from repro.exp.cell import run_cell
+from repro.exp.results import CellResult
+from repro.exp.spec import CellConfig, SweepSpec, config_hash
+from repro.exp.sweep import SweepResult, run_sweep
+
+__all__ = [
+    "AblationRow",
+    "AppRow",
+    "CellConfig",
+    "CellResult",
+    "Figure7Result",
+    "PortabilityRow",
+    "SweepCache",
+    "SweepResult",
+    "SweepSpec",
+    "TranslationOverheadResult",
+    "ablation_page_size",
+    "ablation_pipelined",
+    "ablation_policies",
+    "ablation_prefetch",
+    "ablation_tlb_capacity",
+    "ablation_transfers",
+    "config_hash",
+    "figure7",
+    "figure8",
+    "figure9",
+    "imu_overhead_rows",
+    "portability",
+    "run_cell",
+    "run_sweep",
+    "translation_overhead",
+]

@@ -1,0 +1,571 @@
+"""The paper's figure/ablation drivers, as thin sweeps.
+
+Every driver here regenerates one artefact of the evaluation section:
+
+=============  =====================================================
+``figure7``    timing diagram of a translated read (data on edge 4)
+``figure8``    adpcmdecode: SW vs VIM-based at 2/4/8 KB
+``figure9``    IDEA: SW vs typical vs VIM at 4/8/16/32 KB
+``imu_overhead_rows``       §4.1: SW(IMU) <= 2.5 % of total
+``translation_overhead``    §4.1: translation ~= 20 % of HW (IDEA)
+``ablation_*``  pipelined IMU, policies, transfer modes, prefetch
+``portability`` same binaries on EPXA1 / EPXA4 / EPXA10
+=============  =====================================================
+
+Except for the Figure 7 waveform capture (a single instrumented read,
+not a grid cell), each driver is a list of :class:`~repro.exp.spec.
+CellConfig` variants handed to :func:`~repro.exp.sweep.run_sweep` —
+so every one of them inherits ``--jobs`` parallelism and result
+caching for free, and adding a scenario means adding an axis value,
+not a driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coproc.base import Behavior, Coprocessor
+from repro.core.drivers import adpcm_workload, idea_workload
+from repro.core.runner import WorkloadSpec
+from repro.core.soc import PRESETS
+from repro.core.system import System
+from repro.errors import ReproError
+from repro.exp.cell import run_cell
+from repro.exp.results import CellResult
+from repro.exp.spec import CellConfig
+from repro.exp.sweep import run_sweep
+from repro.imu.imu import Imu
+from repro.os.vim.manager import TransferMode
+from repro.os.vim.policies import policy_names
+from repro.os.vim.prefetch import Prefetcher, SequentialPrefetcher
+from repro.sim.clock import ClockDomain
+from repro.sim.time import mhz
+from repro.trace.timeline import WaveformProbe, render_cycles
+
+# ----------------------------------------------------------------------
+# Workload/kwargs -> cell translation
+# ----------------------------------------------------------------------
+
+
+def _base_fields(workload: WorkloadSpec) -> tuple[dict, WorkloadSpec | None]:
+    """Cell fields identifying *workload*, plus an in-process override.
+
+    Workloads made by :mod:`repro.core.drivers` carry a ``cell_key``
+    and rebuild cleanly inside sweep workers; hand-made specs fall back
+    to passing the object itself to :func:`run_cell` (serial, uncached).
+    """
+    if workload.cell_key is not None:
+        app, input_bytes, seed = workload.cell_key
+        return {"app": app, "input_bytes": input_bytes, "seed": seed}, None
+    return {"app": "adpcm", "input_bytes": max(1, workload.total_bytes)}, workload
+
+
+def _prefetch_fields(prefetcher: Prefetcher | None) -> dict:
+    if prefetcher is None:
+        return {"prefetch": "none"}
+    if isinstance(prefetcher, SequentialPrefetcher):
+        if prefetcher.overlapped:
+            if not prefetcher.aggressive:
+                # The "overlapped" axis value rebuilds with
+                # aggressive=True; encoding this combination would
+                # silently change the simulated configuration.
+                raise ReproError(
+                    "overlapped-but-not-aggressive prefetch has no "
+                    "sweep-axis encoding"
+                )
+            mode = "overlapped"
+        elif prefetcher.aggressive:
+            mode = "aggressive"
+        else:
+            mode = "sequential"
+        return {"prefetch": mode, "prefetch_depth": prefetcher.depth}
+    raise ReproError(
+        f"prefetcher {type(prefetcher).__name__} has no sweep-axis encoding"
+    )
+
+
+def _vim_fields(**vim_kwargs) -> dict:
+    """Translate legacy ``run_vim`` keyword arguments to cell fields."""
+    fields: dict = {}
+    for name in ("policy", "pipelined_imu", "access_cycles", "tlb_capacity"):
+        if name in vim_kwargs:
+            fields[name] = vim_kwargs.pop(name)
+    if "transfer_mode" in vim_kwargs:
+        mode = vim_kwargs.pop("transfer_mode")
+        fields["transfer"] = (
+            mode.name.lower() if isinstance(mode, TransferMode) else str(mode)
+        )
+    if "prefetcher" in vim_kwargs:
+        fields.update(_prefetch_fields(vim_kwargs.pop("prefetcher")))
+    if vim_kwargs:
+        raise ReproError(
+            f"keyword(s) {sorted(vim_kwargs)} have no sweep-axis encoding"
+        )
+    return fields
+
+
+def _cells_for(
+    workload: WorkloadSpec,
+    variants: list[dict],
+    jobs: int = 1,
+    cache_dir=None,
+) -> list[CellResult]:
+    """Run one cell per variant dict, all against *workload*."""
+    base, override = _base_fields(workload)
+    configs = [CellConfig(**{**base, **variant}) for variant in variants]
+    if override is not None:
+        return [run_cell(config, workload=override) for config in configs]
+    return list(run_sweep(configs, jobs=jobs, cache_dir=cache_dir).rows)
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — translated read access timing (bespoke waveform capture)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """One captured read access through the IMU."""
+
+    diagram: str
+    data_ready_edge: int
+    value_read: int
+    access_cycles: int
+    pipelined: bool
+
+
+class _OneReadCore(Coprocessor):
+    """A minimal core issuing exactly one read (for the timing capture)."""
+
+    name = "one-read"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.value: int | None = None
+
+    def behavior(self) -> Behavior:
+        self.value = yield from self.read(0, 4)
+
+
+def figure7(access_cycles: int = 4, pipelined: bool = False) -> Figure7Result:
+    """Capture the waveform of Figure 7: one translated read.
+
+    The TLB is pre-loaded so the access hits; the returned
+    ``data_ready_edge`` counts rising edges from the request edge
+    inclusive — 4 for the paper's IMU.
+    """
+    system = System()
+    imu = Imu(
+        system.dpram,
+        system.interrupts,
+        access_cycles=access_cycles,
+        pipelined=pipelined,
+    )
+    core = _OneReadCore()
+    core.bind(imu)
+    frame = 2
+    imu.tlb.insert(0, 0, frame)
+    system.dpram.write_word(system.dpram.page_base(frame) + 4, 0x2A)
+    domain = ClockDomain(system.engine, "fabric", mhz(40.0))
+    domain.attach(imu.tick)
+    domain.attach(core.tick)
+    ports = imu.ports
+    probe = WaveformProbe(
+        system.engine,
+        [ports.cp_addr, ports.cp_access, ports.cp_tlbhit, ports.cp_din],
+    )
+    imu.start_coprocessor()
+    domain.start()
+    system.engine.run_until(
+        lambda: core.finished, max_time_ps=100 * domain.period_ps
+    )
+    domain.stop()
+    probe.detach()
+    hit_trace = probe.trace("cp.cp_tlbhit")
+    rise_time = next(
+        t for t, v in zip(hit_trace.times, hit_trace.values) if v == 1
+    )
+    data_ready_edge = rise_time // domain.period_ps
+    diagram = render_cycles(
+        probe,
+        start_ps=domain.period_ps,
+        period_ps=domain.period_ps,
+        num_cycles=max(6, data_ready_edge + 2),
+        signals=["cp.cp_addr", "cp.cp_access", "cp.cp_tlbhit", "cp.cp_din"],
+    )
+    return Figure7Result(
+        diagram=diagram,
+        data_ready_edge=data_ready_edge,
+        value_read=core.value if core.value is not None else -1,
+        access_cycles=access_cycles,
+        pipelined=pipelined,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 8 and 9 — application execution times
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AppRow:
+    """One input-size point of Figure 8 or 9."""
+
+    label: str
+    input_kb: int
+    sw_ms: float
+    vim_ms: float
+    hw_ms: float
+    sw_dp_ms: float
+    sw_imu_ms: float
+    sw_other_ms: float
+    vim_speedup: float
+    page_faults: int
+    typical_ms: float | None = None
+    typical_speedup: float | None = None
+    typical_fits: bool = True
+
+    @property
+    def sw_imu_fraction(self) -> float:
+        """SW(IMU) share of the VIM total (the <= 2.5 % claim)."""
+        return self.sw_imu_ms / self.vim_ms if self.vim_ms else 0.0
+
+
+def _app_row(label: str, input_kb: int, cell: CellResult) -> AppRow:
+    return AppRow(
+        label=label,
+        input_kb=input_kb,
+        sw_ms=cell.sw_ms,
+        vim_ms=cell.vim_ms,
+        hw_ms=cell.hw_ms,
+        sw_dp_ms=cell.sw_dp_ms,
+        sw_imu_ms=cell.sw_imu_ms,
+        sw_other_ms=cell.sw_other_ms,
+        vim_speedup=cell.vim_speedup,
+        page_faults=cell.page_faults,
+        typical_ms=cell.typical_ms,
+        typical_speedup=cell.typical_speedup,
+        typical_fits=cell.typical_fits,
+    )
+
+
+def _app_figure(
+    app: str,
+    label_prefix: str,
+    sizes_kb: tuple[int, ...],
+    with_typical: bool,
+    jobs: int,
+    cache_dir,
+    **vim_kwargs,
+) -> list[AppRow]:
+    fields = _vim_fields(**vim_kwargs)
+    configs = [
+        CellConfig(
+            app=app,
+            input_bytes=kb * 1024,
+            with_typical=with_typical,
+            **fields,
+        )
+        for kb in sizes_kb
+    ]
+    sweep = run_sweep(configs, jobs=jobs, cache_dir=cache_dir)
+    return [
+        _app_row(f"{label_prefix}-{kb}KB", kb, cell)
+        for kb, cell in zip(sizes_kb, sweep.rows)
+    ]
+
+
+def figure8(
+    sizes_kb: tuple[int, ...] = (2, 4, 8),
+    jobs: int = 1,
+    cache_dir=None,
+    **vim_kwargs,
+) -> list[AppRow]:
+    """adpcmdecode at the paper's input sizes (SW and VIM versions)."""
+    return _app_figure(
+        "adpcm", "adpcm", tuple(sizes_kb), False, jobs, cache_dir, **vim_kwargs
+    )
+
+
+def figure9(
+    sizes_kb: tuple[int, ...] = (4, 8, 16, 32),
+    jobs: int = 1,
+    cache_dir=None,
+    **vim_kwargs,
+) -> list[AppRow]:
+    """IDEA at the paper's input sizes (SW, typical, and VIM versions)."""
+    return _app_figure(
+        "idea", "idea", tuple(sizes_kb), True, jobs, cache_dir, **vim_kwargs
+    )
+
+
+# ----------------------------------------------------------------------
+# §4.1 textual claims
+# ----------------------------------------------------------------------
+
+
+def imu_overhead_rows(
+    adpcm_sizes: tuple[int, ...] = (2, 4, 8),
+    idea_sizes: tuple[int, ...] = (4, 8, 16, 32),
+    jobs: int = 1,
+    cache_dir=None,
+) -> list[tuple[str, float]]:
+    """SW(IMU) fraction of total time for every measured point.
+
+    The paper: "the software execution time for IMU management ... is
+    up to 2.5% of the total execution time."
+    """
+    rows = [
+        (r.label, r.sw_imu_fraction)
+        for r in figure8(adpcm_sizes, jobs=jobs, cache_dir=cache_dir)
+    ]
+    rows += [
+        (r.label, r.sw_imu_fraction)
+        for r in figure9(idea_sizes, jobs=jobs, cache_dir=cache_dir)
+    ]
+    return rows
+
+
+@dataclass(frozen=True)
+class TranslationOverheadResult:
+    """HW-time share attributable to address translation."""
+
+    label: str
+    hw_ms: float
+    ideal_hw_ms: float
+
+    @property
+    def overhead_fraction(self) -> float:
+        """(translated - translation-free) / translated HW time."""
+        return 1.0 - self.ideal_hw_ms / self.hw_ms if self.hw_ms else 0.0
+
+
+def translation_overhead(
+    workload: WorkloadSpec | None = None,
+    jobs: int = 1,
+    cache_dir=None,
+) -> TranslationOverheadResult:
+    """Translation overhead of the IDEA hardware time (§4.1, ~20 %).
+
+    Measured by comparing the normal IMU against an idealised one with
+    single-cycle translation — same datapath, same clock-domain
+    synchronisers, no TLB translation latency.
+    """
+    workload = workload or idea_workload(8 * 1024)
+    normal, ideal = _cells_for(
+        workload,
+        [{"access_cycles": 4}, {"access_cycles": 2}],
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+    return TranslationOverheadResult(
+        label=workload.name,
+        hw_ms=normal.hw_ms,
+        ideal_hw_ms=ideal.hw_ms,
+    )
+
+
+# ----------------------------------------------------------------------
+# Ablations
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One configuration point of an ablation sweep."""
+
+    label: str
+    total_ms: float
+    hw_ms: float
+    sw_dp_ms: float
+    sw_imu_ms: float
+    page_faults: int
+    prefetches: int = 0
+
+
+def _ablation_row(label: str, cell: CellResult) -> AblationRow:
+    return AblationRow(
+        label=label,
+        total_ms=cell.vim_ms,
+        hw_ms=cell.hw_ms,
+        sw_dp_ms=cell.sw_dp_ms,
+        sw_imu_ms=cell.sw_imu_ms,
+        page_faults=cell.page_faults,
+        prefetches=cell.prefetches,
+    )
+
+
+def _ablation(
+    workload: WorkloadSpec,
+    labelled_variants: list[tuple[str, dict]],
+    jobs: int = 1,
+    cache_dir=None,
+) -> list[AblationRow]:
+    cells = _cells_for(
+        workload,
+        [variant for _, variant in labelled_variants],
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+    return [
+        _ablation_row(label, cell)
+        for (label, _), cell in zip(labelled_variants, cells)
+    ]
+
+
+def ablation_pipelined(
+    workload: WorkloadSpec | None = None, jobs: int = 1, cache_dir=None
+) -> list[AblationRow]:
+    """Multi-cycle vs pipelined IMU (the paper's announced improvement)."""
+    workload = workload or idea_workload(8 * 1024)
+    return _ablation(
+        workload,
+        [
+            ("multi-cycle", {"pipelined_imu": False}),
+            ("pipelined", {"pipelined_imu": True}),
+        ],
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+
+
+def ablation_policies(
+    workload: WorkloadSpec | None = None, jobs: int = 1, cache_dir=None
+) -> list[AblationRow]:
+    """The replacement policies §3.3 enumerates, on one faulting run."""
+    workload = workload or adpcm_workload(8 * 1024)
+    return _ablation(
+        workload,
+        [(name, {"policy": name}) for name in policy_names()],
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+
+
+def ablation_transfers(
+    workload: WorkloadSpec | None = None, jobs: int = 1, cache_dir=None
+) -> list[AblationRow]:
+    """Double-transfer (measured) vs single-transfer (announced) VIM."""
+    workload = workload or adpcm_workload(8 * 1024)
+    return _ablation(
+        workload,
+        [
+            (mode.name.lower(), {"transfer": mode.name.lower()})
+            for mode in (TransferMode.DOUBLE, TransferMode.SINGLE)
+        ],
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+
+
+def ablation_prefetch(
+    workload: WorkloadSpec | None = None, jobs: int = 1, cache_dir=None
+) -> list[AblationRow]:
+    """No prefetch vs conservative / aggressive / overlapped prefetch.
+
+    The *overlapped* row models the paper's full future-work vision:
+    prefetch copies proceed concurrently with coprocessor execution
+    ("the latter allowing overlapping of processor and coprocessor
+    execution"), so avoided faults turn into saved time.
+    """
+    workload = workload or adpcm_workload(8 * 1024)
+    return _ablation(
+        workload,
+        [
+            ("none", {"prefetch": "none"}),
+            ("sequential", {"prefetch": "sequential"}),
+            ("aggressive", {"prefetch": "aggressive"}),
+            ("overlapped", {"prefetch": "overlapped"}),
+        ],
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+
+
+def ablation_page_size(
+    input_bytes: int = 8 * 1024,
+    page_sizes: tuple[int, ...] = (512, 1024, 2048, 4096),
+    jobs: int = 1,
+    cache_dir=None,
+) -> list[AblationRow]:
+    """Page-size sweep at fixed 16 KB DP-RAM capacity.
+
+    The classic virtual-memory trade-off transplanted to the interface
+    memory: small pages mean more faults (more OS round-trips), large
+    pages mean fewer faults but coarser copies and fewer frames to
+    allocate.  Not measured in the paper (the prototype fixes 2 KB);
+    this quantifies how load-bearing that choice is.
+    """
+    workload = adpcm_workload(input_bytes)
+    return _ablation(
+        workload,
+        [
+            (f"{page}B", {"page_bytes": page, "dpram_bytes": 16 * 1024})
+            for page in page_sizes
+        ],
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+
+
+def ablation_tlb_capacity(
+    workload: WorkloadSpec | None = None,
+    capacities: tuple[int, ...] = (2, 4, 8),
+    jobs: int = 1,
+    cache_dir=None,
+) -> list[AblationRow]:
+    """Shrinking the TLB below one-entry-per-frame (extra faults)."""
+    workload = workload or adpcm_workload(4 * 1024)
+    return _ablation(
+        workload,
+        [
+            (f"tlb-{capacity}", {"tlb_capacity": capacity})
+            for capacity in capacities
+        ],
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+
+
+# ----------------------------------------------------------------------
+# Portability (§4: "only recompiling the module")
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PortabilityRow:
+    """One SoC preset running the unchanged application."""
+
+    soc: str
+    dpram_kb: int
+    total_ms: float
+    page_faults: int
+
+
+def portability(
+    workload: WorkloadSpec | None = None, jobs: int = 1, cache_dir=None
+) -> list[PortabilityRow]:
+    """Run the identical workload on every SoC preset.
+
+    Nothing about the workload (C-side mapping or core FSM) changes;
+    only the platform description does — the paper's portability claim.
+    Bigger dual-port memories absorb the working set and the fault
+    count drops to zero.
+    """
+    workload = workload or adpcm_workload(8 * 1024)
+    socs = ("EPXA1", "EPXA4", "EPXA10")
+    cells = _cells_for(
+        workload,
+        [{"soc": name} for name in socs],
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+    return [
+        PortabilityRow(
+            soc=name,
+            dpram_kb=PRESETS[name].dpram_bytes // 1024,
+            total_ms=cell.vim_ms,
+            page_faults=cell.page_faults,
+        )
+        for name, cell in zip(socs, cells)
+    ]

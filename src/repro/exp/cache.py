@@ -1,0 +1,57 @@
+"""Incremental result cache: one JSON file per executed cell.
+
+Cache entries are keyed by :func:`~repro.exp.spec.config_hash`, which
+covers every config field plus a schema version, so a re-run only
+simulates cells whose configuration (or result schema) changed.  Each
+file stores the full config alongside the result and is verified on
+load — a hash collision or a hand-edited file degrades to a miss, never
+to silently wrong numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exp.results import CellResult
+from repro.exp.spec import CACHE_VERSION, CellConfig
+
+
+class SweepCache:
+    """A directory of ``<config-hash>.json`` cell results."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, config: CellConfig) -> Path:
+        return self.root / f"{config.key()}.json"
+
+    def load(self, config: CellConfig) -> CellResult | None:
+        """The cached result for *config*, or ``None`` on any miss."""
+        path = self._path(config)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if payload.get("version") != CACHE_VERSION:
+            return None
+        try:
+            result = CellResult.from_dict(payload["result"])
+        except Exception:
+            return None
+        if result.config != config:
+            return None
+        return result
+
+    def store(self, result: CellResult) -> Path:
+        """Persist *result*; returns the file written."""
+        path = self._path(result.config)
+        payload = {"version": CACHE_VERSION, "result": result.to_dict()}
+        path.write_text(
+            json.dumps(payload, sort_keys=True, indent=1) + "\n", encoding="utf-8"
+        )
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -1,0 +1,149 @@
+"""Execute one grid cell: config in, typed result row out.
+
+``run_cell`` is the unit of work of the sweep engine.  It is a module-
+level function of one picklable argument precisely so a
+``multiprocessing`` pool can execute cells on worker processes; every
+cell rebuilds its own :class:`~repro.core.system.System` and seeded
+workload, so cells are fully independent and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.core.drivers import (
+    adpcm_encode_workload,
+    adpcm_workload,
+    idea_workload,
+    vector_add_workload,
+)
+from repro.core.runner import WorkloadSpec, run_software, run_typical, run_vim
+from repro.core.soc import PRESETS, SocConfig
+from repro.core.system import System
+from repro.errors import CapacityError, ReproError
+from repro.exp.results import CellResult
+from repro.exp.spec import CellConfig
+from repro.os.vim.manager import TransferMode
+from repro.os.vim.prefetch import Prefetcher, SequentialPrefetcher
+from repro.sim.time import to_ms
+
+#: app axis value -> workload builder taking (input_bytes, seed).
+_APP_BUILDERS: dict[str, Callable[[int, int], WorkloadSpec]] = {
+    "adpcm": lambda nbytes, seed: adpcm_workload(nbytes, seed=seed),
+    "idea": lambda nbytes, seed: idea_workload(nbytes, seed=seed),
+    "idea-dec": lambda nbytes, seed: idea_workload(nbytes, seed=seed, decrypt=True),
+    "vadd": lambda nbytes, seed: vector_add_workload(nbytes // 4, seed=seed),
+    "adpcm-enc": lambda nbytes, seed: adpcm_encode_workload(nbytes // 2, seed=seed),
+}
+
+_TRANSFER_MODES = {
+    "double": TransferMode.DOUBLE,
+    "single": TransferMode.SINGLE,
+}
+
+
+def build_workload(config: CellConfig) -> WorkloadSpec:
+    """The (deterministic, seeded) workload of *config*."""
+    builder = _APP_BUILDERS.get(config.app)
+    if builder is None:
+        raise ReproError(
+            f"unknown app {config.app!r}; choices: {sorted(_APP_BUILDERS)}"
+        )
+    return builder(config.input_bytes, config.seed)
+
+
+def build_soc(config: CellConfig) -> SocConfig:
+    """The SoC preset of *config*, with page/DP-RAM size overrides."""
+    preset = PRESETS.get(config.soc)
+    if preset is None:
+        raise ReproError(
+            f"unknown SoC {config.soc!r}; choices: {sorted(PRESETS)}"
+        )
+    overrides: dict = {}
+    if config.page_bytes is not None:
+        overrides["page_bytes"] = config.page_bytes
+    if config.dpram_bytes is not None:
+        overrides["dpram_bytes"] = config.dpram_bytes
+    if not overrides:
+        return preset
+    tags = [preset.name] + [f"{k.split('_')[0]}{v}" for k, v in overrides.items()]
+    return replace(preset, name="@".join(tags), **overrides)
+
+
+def build_prefetcher(config: CellConfig) -> Prefetcher | None:
+    """The prefetcher the cell's VIM runs with (None for "none")."""
+    if config.prefetch == "none":
+        return None
+    if config.prefetch == "sequential":
+        return SequentialPrefetcher(depth=config.prefetch_depth)
+    if config.prefetch == "aggressive":
+        return SequentialPrefetcher(depth=config.prefetch_depth, aggressive=True)
+    if config.prefetch == "overlapped":
+        return SequentialPrefetcher(
+            depth=config.prefetch_depth, aggressive=True, overlapped=True
+        )
+    raise ReproError(f"unknown prefetch {config.prefetch!r}")
+
+
+def run_cell(config: CellConfig, workload: WorkloadSpec | None = None) -> CellResult:
+    """Run one cell: software reference, VIM version, optional typical.
+
+    Every version is verified bit-exact against the software reference
+    before any number is reported — mis-measurement never outlives the
+    cell that produced it.  Passing *workload* overrides the built one
+    (used by the legacy drivers that accept a hand-made spec).
+    """
+    workload = workload if workload is not None else build_workload(config)
+    soc = build_soc(config)
+    sw = run_software(System(soc), workload)
+    vim = run_vim(
+        System(soc),
+        workload,
+        policy=config.policy,
+        transfer_mode=_TRANSFER_MODES[config.transfer],
+        pipelined_imu=config.pipelined_imu,
+        access_cycles=config.access_cycles,
+        prefetcher=build_prefetcher(config),
+        tlb_capacity=config.tlb_capacity,
+    )
+    vim.verify()
+    meas = vim.measurement
+    typical_ms = None
+    typical_speedup = None
+    typical_fits = True
+    if config.with_typical:
+        try:
+            typical = run_typical(System(soc), workload)
+            typical.verify()
+            typical_ms = typical.total_ms
+            typical_speedup = typical.measurement.speedup_over(sw.measurement)
+        except CapacityError:
+            typical_fits = False
+    counters = meas.counters
+    return CellResult(
+        config=config,
+        key=config.key(),
+        label=config.label(),
+        workload=workload.name,
+        sw_ms=sw.total_ms,
+        vim_ms=vim.total_ms,
+        hw_ms=to_ms(meas.hw_ps),
+        sw_dp_ms=to_ms(meas.sw_dp_ps),
+        sw_imu_ms=to_ms(meas.sw_imu_ps),
+        sw_other_ms=to_ms(meas.sw_other_ps),
+        vim_speedup=meas.speedup_over(sw.measurement),
+        page_faults=counters.page_faults,
+        compulsory_loads=counters.compulsory_loads,
+        evictions=counters.evictions,
+        writebacks=counters.writebacks,
+        prefetches=counters.prefetches,
+        bytes_to_dpram=counters.bytes_to_dpram,
+        bytes_from_dpram=counters.bytes_from_dpram,
+        tlb_hit_rate=(
+            counters.tlb_hits / counters.tlb_lookups if counters.tlb_lookups else 0.0
+        ),
+        typical_ms=typical_ms,
+        typical_speedup=typical_speedup,
+        typical_fits=typical_fits,
+    )

@@ -1,0 +1,64 @@
+"""Typed result rows produced by the cell runner.
+
+A :class:`CellResult` is the flattened, JSON-stable record of one grid
+cell: the configuration that produced it, the time decomposition of
+every executed version, and the VIM counters the figures plot.  The
+serialisation is exact (Python floats round-trip through ``repr`` in
+JSON), which is what makes parallel and serial sweeps byte-comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+
+from repro.errors import ReproError
+from repro.exp.spec import CellConfig
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Measurements of one executed cell (all times in milliseconds)."""
+
+    config: CellConfig
+    key: str
+    label: str
+    workload: str
+    sw_ms: float
+    vim_ms: float
+    hw_ms: float
+    sw_dp_ms: float
+    sw_imu_ms: float
+    sw_other_ms: float
+    vim_speedup: float
+    page_faults: int
+    compulsory_loads: int
+    evictions: int
+    writebacks: int
+    prefetches: int
+    bytes_to_dpram: int
+    bytes_from_dpram: int
+    tlb_hit_rate: float
+    typical_ms: float | None = None
+    typical_speedup: float | None = None
+    typical_fits: bool = True
+
+    @property
+    def sw_imu_fraction(self) -> float:
+        """SW(IMU) share of the VIM total (the paper's <= 2.5 % claim)."""
+        return self.sw_imu_ms / self.vim_ms if self.vim_ms else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-friendly dump; the config nests as its own dict."""
+        data = asdict(self)
+        data["config"] = self.config.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellResult":
+        names = {f.name for f in fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ReproError(f"unknown cell result fields: {sorted(unknown)}")
+        payload = dict(data)
+        payload["config"] = CellConfig.from_dict(payload["config"])
+        return cls(**payload)

@@ -1,0 +1,208 @@
+"""Sweep specifications: cells, grids, and stable config hashes.
+
+A :class:`CellConfig` is one point of the design space, expressed
+entirely in primitives (strings, ints, bools) so it can cross a
+``multiprocessing`` boundary, be hashed into a cache key, and be
+round-tripped through JSON without loss.  A :class:`SweepSpec` is the
+declarative product of axis values that expands to the run grid.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import asdict, dataclass, fields
+
+from repro.errors import ReproError
+
+#: Bump when CellResult semantics change, so stale caches miss.
+CACHE_VERSION = 1
+
+#: Applications the cell runner knows how to build (see exp.cell).
+APPS = ("adpcm", "idea", "idea-dec", "vadd", "adpcm-enc")
+
+#: Transfer-mode axis values (maps onto os.vim.manager.TransferMode).
+TRANSFERS = ("double", "single")
+
+#: Prefetch axis values (maps onto os.vim.prefetch builders).
+PREFETCHES = ("none", "sequential", "aggressive", "overlapped")
+
+
+@dataclass(frozen=True)
+class CellConfig:
+    """One fully-specified simulation: workload x platform x VIM knobs.
+
+    ``page_bytes`` / ``dpram_bytes`` of ``None`` mean "the SoC preset's
+    value"; ``tlb_capacity`` of ``None`` means one entry per DP-RAM
+    page (the prototype's organisation).
+    """
+
+    app: str = "adpcm"
+    input_bytes: int = 8 * 1024
+    seed: int = 1
+    soc: str = "EPXA1"
+    page_bytes: int | None = None
+    dpram_bytes: int | None = None
+    policy: str = "fifo"
+    transfer: str = "double"
+    prefetch: str = "none"
+    prefetch_depth: int = 1
+    tlb_capacity: int | None = None
+    pipelined_imu: bool = False
+    access_cycles: int = 4
+    with_typical: bool = False
+
+    def __post_init__(self) -> None:
+        if self.app not in APPS:
+            raise ReproError(f"unknown app {self.app!r}; choices: {APPS}")
+        if self.transfer not in TRANSFERS:
+            raise ReproError(
+                f"unknown transfer mode {self.transfer!r}; choices: {TRANSFERS}"
+            )
+        if self.prefetch not in PREFETCHES:
+            raise ReproError(
+                f"unknown prefetch {self.prefetch!r}; choices: {PREFETCHES}"
+            )
+        if self.input_bytes <= 0:
+            raise ReproError(f"input size must be positive, got {self.input_bytes}")
+        if self.page_bytes is not None and self.page_bytes < 1:
+            raise ReproError(f"page size must be >= 1, got {self.page_bytes}")
+        if self.dpram_bytes is not None and self.dpram_bytes < 1:
+            raise ReproError(f"DP-RAM size must be >= 1, got {self.dpram_bytes}")
+        if self.tlb_capacity is not None and self.tlb_capacity < 1:
+            # 0 would read as "preset default" downstream (Imu treats a
+            # falsy capacity as one-entry-per-frame) — reject instead of
+            # mislabelling a full-TLB run.
+            raise ReproError(
+                f"TLB capacity must be >= 1, got {self.tlb_capacity}"
+            )
+        if self.prefetch_depth < 1:
+            raise ReproError(
+                f"prefetch depth must be >= 1, got {self.prefetch_depth}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly dump (field order fixed by the dataclass)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellConfig":
+        names = {f.name for f in fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ReproError(f"unknown cell config fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def key(self) -> str:
+        """Stable hash identifying this configuration (cache key)."""
+        return config_hash(self)
+
+    def label(self) -> str:
+        """Compact human label: workload plus every non-default axis."""
+        parts = [f"{self.app}-{_size_label(self.input_bytes)}"]
+        default = CellConfig(app=self.app, input_bytes=self.input_bytes)
+        for name, text in (
+            ("soc", self.soc),
+            ("page_bytes", f"page{self.page_bytes}"),
+            ("dpram_bytes", f"dpram{self.dpram_bytes}"),
+            ("policy", self.policy),
+            ("transfer", self.transfer),
+            ("prefetch", self.prefetch),
+            ("tlb_capacity", f"tlb{self.tlb_capacity}"),
+            ("pipelined_imu", "pipelined"),
+            ("access_cycles", f"ac{self.access_cycles}"),
+        ):
+            if getattr(self, name) != getattr(default, name):
+                parts.append(text)
+        return "/".join(parts)
+
+
+def _size_label(nbytes: int) -> str:
+    if nbytes % 1024 == 0:
+        return f"{nbytes // 1024}KB"
+    return f"{nbytes}B"
+
+
+def config_hash(config: CellConfig) -> str:
+    """A deterministic 16-hex-digit digest of *config*.
+
+    The digest covers every field plus :data:`CACHE_VERSION`, so any
+    change to either the configuration or the result schema produces a
+    clean cache miss rather than a stale read.
+    """
+    payload = {"version": CACHE_VERSION, "config": config.to_dict()}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative run grid: the cartesian product of axis values.
+
+    Axis order in :meth:`expand` is fixed (apps outermost, access
+    cycles innermost), so the same spec always yields the same cell
+    sequence — the property that makes ``--jobs N`` output byte-
+    identical to serial execution.
+    """
+
+    apps: tuple[str, ...] = ("adpcm",)
+    input_bytes: tuple[int, ...] = (8 * 1024,)
+    seeds: tuple[int, ...] = (1,)
+    socs: tuple[str, ...] = ("EPXA1",)
+    page_bytes: tuple[int | None, ...] = (None,)
+    dpram_bytes: tuple[int | None, ...] = (None,)
+    policies: tuple[str, ...] = ("fifo",)
+    transfers: tuple[str, ...] = ("double",)
+    prefetches: tuple[str, ...] = ("none",)
+    prefetch_depths: tuple[int, ...] = (1,)
+    tlb_capacities: tuple[int | None, ...] = (None,)
+    pipelined: tuple[bool, ...] = (False,)
+    access_cycles: tuple[int, ...] = (4,)
+    with_typical: bool = False
+
+    def expand(self) -> list[CellConfig]:
+        """The full run grid, in deterministic axis-product order."""
+        cells = []
+        for (
+            app, nbytes, seed, soc, page, dpram, policy, transfer,
+            prefetch, depth, tlb, pipe, cycles,
+        ) in itertools.product(
+            self.apps, self.input_bytes, self.seeds, self.socs,
+            self.page_bytes, self.dpram_bytes, self.policies,
+            self.transfers, self.prefetches, self.prefetch_depths,
+            self.tlb_capacities, self.pipelined, self.access_cycles,
+        ):
+            cells.append(
+                CellConfig(
+                    app=app,
+                    input_bytes=nbytes,
+                    seed=seed,
+                    soc=soc,
+                    page_bytes=page,
+                    dpram_bytes=dpram,
+                    policy=policy,
+                    transfer=transfer,
+                    prefetch=prefetch,
+                    prefetch_depth=depth,
+                    tlb_capacity=tlb,
+                    pipelined_imu=pipe,
+                    access_cycles=cycles,
+                    with_typical=self.with_typical,
+                )
+            )
+        return cells
+
+    @property
+    def size(self) -> int:
+        """Number of cells the spec expands to."""
+        axes = (
+            self.apps, self.input_bytes, self.seeds, self.socs,
+            self.page_bytes, self.dpram_bytes, self.policies,
+            self.transfers, self.prefetches, self.prefetch_depths,
+            self.tlb_capacities, self.pipelined, self.access_cycles,
+        )
+        size = 1
+        for axis in axes:
+            size *= len(axis)
+        return size

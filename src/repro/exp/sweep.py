@@ -1,0 +1,90 @@
+"""Grid execution: serial or across a ``multiprocessing`` pool.
+
+Each cell is an independent deterministic simulation, so the grid is
+embarrassingly parallel: ``run_sweep(spec, jobs=N)`` produces results
+byte-identical to the serial run, in the same (spec-defined) order.
+Duplicate configurations are simulated once and fanned back out, and a
+:class:`~repro.exp.cache.SweepCache` makes re-runs incremental.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.exp.cache import SweepCache
+from repro.exp.cell import run_cell
+from repro.exp.results import CellResult
+from repro.exp.spec import CellConfig, SweepSpec
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All rows of one sweep plus how much work it actually did."""
+
+    rows: tuple[CellResult, ...]
+    executed: int  #: cells actually simulated this run
+    cached: int  #: cells served from the cache
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def _pool(jobs: int):
+    """A worker pool; fork keeps workers cheap where it exists."""
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    return ctx.Pool(processes=jobs)
+
+
+def run_sweep(
+    spec: SweepSpec | list[CellConfig],
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+) -> SweepResult:
+    """Execute every cell of *spec* and return rows in grid order.
+
+    ``jobs=1`` runs in-process; ``jobs>1`` distributes the pending
+    (uncached, deduplicated) cells over a process pool.  With
+    *cache_dir* set, previously executed cells are loaded instead of
+    re-simulated and fresh results are persisted for the next run.
+    """
+    if jobs < 1:
+        raise ReproError(f"jobs must be >= 1, got {jobs}")
+    configs = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
+    cache = SweepCache(cache_dir) if cache_dir is not None else None
+
+    by_key: dict[str, CellResult] = {}
+    cached = 0
+    pending: list[CellConfig] = []
+    for config in configs:
+        key = config.key()
+        if key in by_key:
+            continue
+        if cache is not None:
+            hit = cache.load(config)
+            if hit is not None:
+                by_key[key] = hit
+                cached += 1
+                continue
+        by_key[key] = None  # placeholder keeps first-seen order semantics
+        pending.append(config)
+
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            fresh = [run_cell(config) for config in pending]
+        else:
+            with _pool(min(jobs, len(pending))) as pool:
+                fresh = pool.map(run_cell, pending, chunksize=1)
+        for result in fresh:
+            by_key[result.key] = result
+            if cache is not None:
+                cache.store(result)
+
+    rows = tuple(by_key[config.key()] for config in configs)
+    return SweepResult(rows=rows, executed=len(pending), cached=cached)

@@ -99,12 +99,23 @@ class Tlb:
         return entry if entry is not None and entry.valid else None
 
     def insert(self, obj: int, vpage: int, ppage: int) -> TlbEntry:
-        """Install a translation (done by the VIM after a page load)."""
-        if len(self._cam) >= self.capacity and (obj, vpage) not in self._cam:
+        """Install a translation (done by the VIM after a page load).
+
+        Reinstalling over an existing ``(obj, vpage)`` entry that still
+        maps the *same* physical page keeps the dirty bit: the page's
+        contents have not been reloaded, so forgetting its dirtiness
+        would silently lose the write-back at eviction or end of
+        operation.  A reinstall pointing at a different frame means the
+        page was freshly loaded there, so the new entry starts clean.
+        """
+        existing = self._cam.get((obj, vpage))
+        if existing is None and len(self._cam) >= self.capacity:
             raise HardwareError(
                 f"TLB full ({self.capacity} entries); VIM must invalidate first"
             )
         entry = TlbEntry(obj=obj, vpage=vpage, ppage=ppage)
+        if existing is not None and existing.valid and existing.ppage == ppage:
+            entry.dirty = existing.dirty
         self._cam[entry.key()] = entry
         self.stats.insertions += 1
         return entry

@@ -106,11 +106,13 @@ class Engine:
             item = self._pop()
             if item is None:
                 return False
-            time_ps, _, callback = item
+            time_ps, handle, callback = item
             if max_time_ps is not None and time_ps > max_time_ps:
-                # Put it back: the caller may want to continue later.
-                heapq.heappush(self._queue, (time_ps, self._seq, callback))
-                self._seq += 1
+                # Put it back under its original handle: the caller may
+                # want to continue later, and the event must stay
+                # cancellable and keep its FIFO rank among simultaneous
+                # events.
+                heapq.heappush(self._queue, (time_ps, handle, callback))
                 raise SimulationError(
                     f"run_until exceeded {max_time_ps} ps without satisfying "
                     f"predicate (now={self._now} ps)"
@@ -131,11 +133,18 @@ class Engine:
             raise SimulationError(f"cannot advance by negative time ({delay_ps})")
         deadline = self._now + delay_ps
         while self._queue:
+            # Purge cancelled entries so the peek sees the next *live*
+            # event; otherwise step() could skip past the deadline and
+            # the final assignment would move time backwards.
+            while self._queue and self._queue[0][1] in self._cancelled:
+                _, handle, _ = heapq.heappop(self._queue)
+                self._cancelled.discard(handle)
+            if not self._queue:
+                break
             time_ps, _, _ = self._queue[0]
             if time_ps > deadline:
                 break
-            if not self.step():
-                break
+            self.step()
         self._now = deadline
 
     def drain(self, max_events: int = 10_000_000) -> int:

@@ -18,7 +18,7 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for command in ("fig7", "fig8", "fig9", "overheads", "ablations",
-                        "portability", "run"):
+                        "portability", "run", "sweep"):
             assert command in text
 
 
@@ -62,3 +62,38 @@ class TestCommands:
     def test_run_idea_large_reports_capacity(self, capsys):
         assert main(["run", "idea", "--kb", "16"]) == 0
         assert "unavailable" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_sweep_grid_row_per_cell(self, capsys):
+        assert main(["sweep", "--app", "vadd", "--kb", "1",
+                     "--policy", "fifo", "lru"]) == 0
+        out = capsys.readouterr().out
+        assert "2 cells: 2 simulated, 0 from cache" in out
+        assert "vadd-1KB/lru" in out
+
+    def test_sweep_cache_makes_rerun_incremental(self, capsys, tmp_path):
+        args = ["sweep", "--app", "vadd", "--kb", "1",
+                "--cache", str(tmp_path / "cache")]
+        assert main(args) == 0
+        assert "1 simulated, 0 from cache" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "0 simulated, 1 from cache" in capsys.readouterr().out
+
+    def test_sweep_json_dump(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "rows.json"
+        assert main(["sweep", "--app", "vadd", "--kb", "1",
+                     "--json", str(path)]) == 0
+        rows = json.loads(path.read_text())
+        assert len(rows) == 1
+        assert rows[0]["config"]["app"] == "vadd"
+
+    def test_sweep_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--app", "doom"])
+
+    def test_sweep_rejects_unknown_soc(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--soc", "EPXA99"])

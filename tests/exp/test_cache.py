@@ -1,0 +1,63 @@
+"""Tests for the per-cell JSON result cache."""
+
+import json
+
+from repro.exp.cache import SweepCache
+from repro.exp.cell import run_cell
+from repro.exp.spec import CellConfig
+
+#: The smallest meaningful cell: a 64-element vector add.
+TINY = CellConfig(app="vadd", input_bytes=256)
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        result = run_cell(TINY)
+        cache.store(result)
+        assert cache.load(TINY) == result
+
+    def test_miss_on_empty_cache(self, tmp_path):
+        assert SweepCache(tmp_path).load(TINY) is None
+
+    def test_miss_on_different_config(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.store(run_cell(TINY))
+        other = CellConfig(app="vadd", input_bytes=256, policy="lru")
+        assert cache.load(other) is None
+
+    def test_len_counts_entries(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        assert len(cache) == 0
+        cache.store(run_cell(TINY))
+        assert len(cache) == 1
+
+
+class TestDefensiveLoads:
+    def test_corrupt_file_degrades_to_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        path = cache.store(run_cell(TINY))
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.load(TINY) is None
+
+    def test_version_mismatch_degrades_to_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        path = cache.store(run_cell(TINY))
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["version"] = -1
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.load(TINY) is None
+
+    def test_config_mismatch_inside_file_degrades_to_miss(self, tmp_path):
+        # A renamed/collided file whose stored config differs from the
+        # requested one must never be returned.
+        cache = SweepCache(tmp_path)
+        stored_path = cache.store(run_cell(TINY))
+        other = CellConfig(app="vadd", input_bytes=256, seed=9)
+        stored_path.rename(tmp_path / f"{other.key()}.json")
+        assert cache.load(other) is None
+
+    def test_creates_directory(self, tmp_path):
+        root = tmp_path / "deep" / "cache"
+        SweepCache(root)
+        assert root.is_dir()

@@ -1,0 +1,139 @@
+"""Tests for grid execution: parallelism, caching, determinism.
+
+The acceptance bar of the sweep engine: ``jobs=N`` output is byte-
+identical to serial, re-runs against a cache simulate nothing, and any
+two cells with equal configs produce equal results.
+"""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.drivers import vector_add_workload
+from repro.exp import ablation_policies, figure8, run_cell, run_sweep
+from repro.exp.spec import CellConfig, SweepSpec
+
+#: Small, fault-producing grid: 2 policies x 2 page sizes on 2 KB adpcm.
+GRID = SweepSpec(
+    apps=("adpcm",),
+    input_bytes=(2 * 1024,),
+    policies=("fifo", "lru"),
+    page_bytes=(512, 1024),
+)
+
+#: Hypothesis settings for full-simulation examples.
+E2E = settings(max_examples=8, deadline=None)
+
+
+def _dump(rows) -> bytes:
+    return json.dumps(
+        [r.to_dict() for r in rows], sort_keys=True
+    ).encode("utf-8")
+
+
+class TestGridExecution:
+    def test_rows_follow_grid_order(self):
+        result = run_sweep(GRID)
+        assert [r.config for r in result.rows] == GRID.expand()
+        assert result.executed == 4
+        assert result.cached == 0
+
+    def test_parallel_equals_serial_byte_identical(self):
+        serial = run_sweep(GRID, jobs=1)
+        parallel = run_sweep(GRID, jobs=4)
+        assert _dump(serial.rows) == _dump(parallel.rows)
+
+    def test_duplicate_configs_simulated_once(self):
+        config = CellConfig(app="vadd", input_bytes=256)
+        result = run_sweep([config, config, config])
+        assert result.executed == 1
+        assert len(result) == 3
+        assert result.rows[0] == result.rows[1] == result.rows[2]
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(Exception):
+            run_sweep(GRID, jobs=0)
+
+
+class TestCaching:
+    def test_second_run_simulates_nothing(self, tmp_path):
+        first = run_sweep(GRID, jobs=2, cache_dir=tmp_path)
+        assert first.executed == 4
+        second = run_sweep(GRID, jobs=1, cache_dir=tmp_path)
+        assert second.executed == 0
+        assert second.cached == 4
+        assert _dump(first.rows) == _dump(second.rows)
+
+    def test_grid_growth_is_incremental(self, tmp_path):
+        run_sweep(GRID, cache_dir=tmp_path)
+        grown = dataclasses.replace(GRID, policies=("fifo", "lru", "random"))
+        result = run_sweep(grown, cache_dir=tmp_path)
+        assert result.cached == 4  # the old cells
+        assert result.executed == 2  # only the new policy's cells
+
+    def test_api_drivers_share_the_cache(self, tmp_path):
+        rows = figure8(sizes_kb=(2,), cache_dir=tmp_path)
+        assert len(rows) == 1
+        again = figure8(sizes_kb=(2,), cache_dir=tmp_path)
+        assert rows == again
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+
+class TestPrefetcherEncoding:
+    def test_driver_prefetcher_kwarg_round_trips(self):
+        from repro.os.vim.prefetch import SequentialPrefetcher
+
+        rows = figure8(
+            sizes_kb=(2,),
+            prefetcher=SequentialPrefetcher(aggressive=True, overlapped=True),
+        )
+        assert len(rows) == 1
+
+    def test_unencodable_prefetcher_rejected(self):
+        # overlapped-but-not-aggressive would rebuild as aggressive in
+        # the worker; better a loud error than a silently different sim.
+        from repro.errors import ReproError
+        from repro.os.vim.prefetch import SequentialPrefetcher
+
+        with pytest.raises(ReproError):
+            figure8(
+                sizes_kb=(2,),
+                prefetcher=SequentialPrefetcher(overlapped=True),
+            )
+
+
+class TestWorkloadFallback:
+    def test_keyless_workload_runs_in_process(self):
+        # A hand-made spec (no cell_key) cannot cross a process
+        # boundary; the drivers must still run it, serially.
+        workload = dataclasses.replace(
+            vector_add_workload(128, seed=2), cell_key=None
+        )
+        rows = ablation_policies(workload)
+        assert [r.label for r in rows] == ["fifo", "lru", "random", "second-chance"]
+        assert all(r.total_ms > 0 for r in rows)
+
+    def test_keyed_workload_matches_fallback(self):
+        keyed = vector_add_workload(128, seed=2)
+        keyless = dataclasses.replace(keyed, cell_key=None)
+        assert ablation_policies(keyed) == ablation_policies(keyless)
+
+
+class TestDeterminism:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        elements=st.integers(min_value=1, max_value=256),
+        policy=st.sampled_from(["fifo", "lru", "random", "second-chance"]),
+    )
+    @E2E
+    def test_equal_configs_produce_equal_results(self, seed, elements, policy):
+        config = CellConfig(
+            app="vadd", input_bytes=elements * 4, seed=seed, policy=policy
+        )
+        first = run_cell(config)
+        second = run_cell(config)
+        assert first == second
+        assert first.to_dict() == second.to_dict()

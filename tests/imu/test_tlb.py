@@ -74,6 +74,30 @@ class TestCapacity:
             Tlb(0)
 
 
+class TestDuplicateInsert:
+    def test_reinsert_same_mapping_preserves_dirty(self):
+        # Regression: a duplicate-key insert used to build a fresh entry
+        # and silently drop the dirty bit, losing the write-back.
+        tlb = Tlb(2)
+        entry = tlb.insert(0, 0, 3)
+        entry.dirty = True
+        reinstalled = tlb.insert(0, 0, 3)
+        assert reinstalled.dirty
+        assert tlb.lookup(0, 0).dirty
+
+    def test_reinsert_to_new_frame_starts_clean(self):
+        # A different physical page means the data was freshly loaded
+        # there: the old dirtiness belongs to the old frame, not this one.
+        tlb = Tlb(2)
+        tlb.insert(0, 0, 3).dirty = True
+        assert not tlb.insert(0, 0, 5).dirty
+
+    def test_reinsert_clean_mapping_stays_clean(self):
+        tlb = Tlb(2)
+        tlb.insert(0, 0, 3)
+        assert not tlb.insert(0, 0, 3).dirty
+
+
 class TestInvalidate:
     def test_invalidate_by_key(self):
         tlb = Tlb(8)

@@ -53,6 +53,30 @@ class TestTranslationOnlyFaults:
         meas = result.measurement
         assert meas.counters.page_faults > meas.counters.evictions
 
+    def test_reinstalled_dirty_translation_comes_back_dirty(self):
+        # TLB of 2 (param + one data entry) on a three-object workload:
+        # every output page gets written (dirty), displaced into the
+        # shadow by the next access, and reinstalled on a later
+        # translation-only fault.  The reinstalled entry must carry the
+        # dirty bit again — all output bytes reach user space exactly
+        # once per page at end of operation.
+        workload = vector_add_workload(512, seed=4)  # 2 KB per object
+        result = run_vim(System(), workload, tlb_capacity=2)
+        result.verify()
+        meas = result.measurement
+        # Churn actually happened: translation-only faults on top of the
+        # compulsory loads.
+        assert meas.counters.page_faults > 0
+        # No evictions (everything stays resident), yet the dirty output
+        # pages were written back at end of operation.
+        assert meas.counters.evictions == 0
+        assert meas.counters.writebacks > 0
+        expected = workload.reference()
+        np.testing.assert_array_equal(
+            np.frombuffer(result.outputs[2], dtype="<u4"),
+            np.frombuffer(expected[2], dtype="<u4"),
+        )
+
     def test_sw_imu_time_grows_with_displacements(self):
         workload = adpcm_workload(2 * 1024, seed=2)
         full = run_vim(System(), workload)

@@ -100,6 +100,28 @@ class TestRunUntil:
         # The engine remains usable and the over-deadline event survives.
         assert engine.pending() >= 1
 
+    def test_cancel_still_works_after_timeout_repush(self, engine: Engine):
+        # Regression: the too-late event used to be re-pushed under a
+        # *fresh* sequence number, orphaning its original cancel handle.
+        log = []
+        handle = engine.schedule(200, lambda: log.append("x"))
+        with pytest.raises(SimulationError):
+            engine.run_until(lambda: False, max_time_ps=100)
+        engine.cancel(handle)
+        engine.drain()
+        assert log == []
+
+    def test_fifo_order_survives_timeout_repush(self, engine: Engine):
+        # Regression: the fresh sequence number also demoted the re-pushed
+        # event behind its simultaneous peers on resume.
+        log = []
+        engine.schedule(200, lambda: log.append("first"))
+        engine.schedule(200, lambda: log.append("second"))
+        with pytest.raises(SimulationError):
+            engine.run_until(lambda: False, max_time_ps=100)
+        engine.drain()
+        assert log == ["first", "second"]
+
 
 class TestAdvance:
     def test_advance_moves_time_without_events(self, engine: Engine):
@@ -128,6 +150,41 @@ class TestAdvance:
     def test_advance_zero_is_noop(self, engine: Engine):
         engine.advance(0)
         assert engine.now == 0
+
+    def test_advance_skips_cancelled_without_time_travel(self, engine: Engine):
+        # Regression: a cancelled event before the deadline used to fool
+        # the peek, so step() executed the *live* event past the deadline
+        # and the final ``now = deadline`` moved time backwards.
+        log = []
+        handle = engine.schedule(100, lambda: log.append("cancelled"))
+        engine.schedule(200, lambda: log.append(engine.now))
+        engine.cancel(handle)
+        engine.advance(150)
+        assert log == []  # the live event lies past the deadline
+        assert engine.now == 150  # time never exceeded the deadline
+        assert engine.pending() == 1
+        engine.advance(100)
+        assert log == [200]
+        assert engine.now == 250
+
+    def test_advance_runs_live_event_behind_cancelled_one(self, engine: Engine):
+        log = []
+        handle = engine.schedule(50, lambda: log.append("dead"))
+        engine.schedule(120, lambda: log.append(engine.now))
+        engine.cancel(handle)
+        engine.advance(130)
+        assert log == [120]
+        assert engine.now == 130
+
+    def test_now_never_decreases_across_advance(self, engine: Engine):
+        observed = []
+        handle = engine.schedule(10, lambda: None)
+        engine.schedule(500, lambda: observed.append(engine.now))
+        engine.cancel(handle)
+        for _ in range(10):
+            engine.advance(60)
+            observed.append(engine.now)
+        assert observed == sorted(observed)
 
 
 class TestDrain:
