@@ -1,0 +1,68 @@
+"""CONT — multi-process contention for one DP-RAM (ROADMAP scenario).
+
+The paper's OS integration (FPGA_EXECUTE sleeps the caller, the
+end-of-operation interrupt re-queues it) is exercised with several
+tenant processes sharing the interface window: the round-robin
+scheduler interleaves their executions, pages stay resident between a
+tenant's turns, and a neighbour's fault may steal them.  The sweep
+scales the tenant count at a fixed per-tenant job, so the extra faults
+and the steal traffic are attributable to contention alone.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.exp import contention
+
+
+def _sweep():
+    return contention(
+        app="adpcm", input_kb=4, tenant_counts=(1, 2, 3), repeats=2
+    )
+
+
+def test_cont_tenant_scaling(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit(
+        "CONT: tenants contending for one DP-RAM (adpcm 4KB, 2 execs each)",
+        format_table(
+            ["cell", "makespan ms", "faults", "evictions", "steals"],
+            [[r.label, r.vim_ms, r.page_faults, r.evictions, r.steals]
+             for r in rows],
+        ),
+    )
+    emit(
+        "CONT: per-tenant split",
+        format_table(
+            ["tenant", "ms", "faults", "steals", "pages lost"],
+            [[f"{r.config.tenants}x/{name}", ms, faults, steals, lost]
+             for r in rows
+             for name, ms, faults, steals, lost in zip(
+                 r.tenant_labels, r.tenant_ms, r.tenant_faults,
+                 r.tenant_steals, r.tenant_pages_lost,
+             )],
+        ),
+    )
+    solo, *contended = rows
+    # The solo baseline cannot steal from anyone.
+    assert solo.config.tenants == 1
+    assert solo.steals == 0
+    for row in contended:
+        # Contention shows up as cross-tenant evictions and as a fault
+        # count at least the sum of what each tenant needs alone.
+        assert row.steals > 0, row.label
+        assert row.page_faults >= solo.page_faults, row.label
+        # Makespan grows with the number of tenants (more total work).
+        assert row.vim_ms > solo.vim_ms, row.label
+    # Every tenant's outputs were verified bit-exact against its solo
+    # reference inside the cell runner; per-tenant columns line up.
+    for row in rows:
+        assert len(row.tenant_labels) == row.config.tenants
+        assert sum(row.tenant_steals) == row.steals
+        assert sum(row.tenant_faults) == row.page_faults
+    benchmark.extra_info["faults"] = {
+        r.label: list(r.tenant_faults) for r in rows
+    }
+    benchmark.extra_info["steals"] = {
+        r.label: list(r.tenant_steals) for r in rows
+    }

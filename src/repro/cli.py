@@ -30,7 +30,7 @@ from repro.core.soc import PRESETS
 from repro.core.system import System
 from repro.errors import CapacityError, ReproError
 from repro import exp
-from repro.exp.spec import APPS, PREFETCHES, TRANSFERS, SweepSpec
+from repro.exp.spec import APPS, PREFETCHES, TRANSFERS, CellConfig, SweepSpec
 
 #: Ablation registry: name -> (driver, row headers, row formatter).
 _ABLATIONS: dict[str, Callable] = {
@@ -112,27 +112,74 @@ def _print_portability(args: argparse.Namespace) -> None:
     ))
 
 
+#: ``repro sweep --preset`` shorthands: canonical grids for scenario
+#: families that deserve a one-flag spelling.  Explicit axis flags are
+#: ignored when a preset is selected (the preset *is* the grid).
+#: Values are explicit cell lists so a preset can be a ragged grid —
+#: e.g. one solo baseline instead of a baseline per tenant mix.
+_SWEEP_PRESETS: dict[str, list] = {
+    # Multi-process contention: one solo baseline, then 2 and 3
+    # tenants interleaving repeated executions on one DP-RAM, same-app
+    # and mixed-app flavours.
+    "contention": [
+        CellConfig(
+            app="adpcm",
+            input_bytes=4 * 1024,
+            tenants=count,
+            tenant_mix=mix,
+            tenant_repeats=2,
+        )
+        for count, mix in (
+            (1, "same"),
+            (2, "same"), (2, "adpcm+idea"),
+            (3, "same"), (3, "adpcm+idea"),
+        )
+    ],
+}
+
+
 def _print_sweep(args: argparse.Namespace) -> None:
-    spec = SweepSpec(
-        apps=tuple(args.app),
-        input_bytes=tuple(kb * 1024 for kb in args.kb),
-        seeds=tuple(args.seed),
-        socs=tuple(args.soc),
-        page_bytes=tuple(args.page) if args.page else (None,),
-        policies=tuple(args.policy),
-        transfers=tuple(args.transfer),
-        prefetches=tuple(args.prefetch),
-        tlb_capacities=tuple(args.tlb) if args.tlb else (None,),
-        pipelined=(False, True) if args.pipelined_too else (False,),
-        with_typical=args.typical,
-    )
+    if args.preset:
+        spec = _SWEEP_PRESETS[args.preset]
+    else:
+        spec = SweepSpec(
+            apps=tuple(args.app),
+            input_bytes=tuple(kb * 1024 for kb in args.kb),
+            seeds=tuple(args.seed),
+            socs=tuple(args.soc),
+            page_bytes=tuple(args.page) if args.page else (None,),
+            policies=tuple(args.policy),
+            transfers=tuple(args.transfer),
+            prefetches=tuple(args.prefetch),
+            tlb_capacities=tuple(args.tlb) if args.tlb else (None,),
+            pipelined=(False, True) if args.pipelined_too else (False,),
+            tenants=tuple(args.tenants),
+            tenant_mixes=tuple(args.tenant_mix),
+            tenant_repeats=tuple(args.tenant_repeats),
+            with_typical=args.typical,
+        )
     result = exp.run_sweep(spec, jobs=args.jobs, cache_dir=args.cache)
-    print(format_table(
-        ["cell", "total ms", "hw ms", "SW(DP) ms", "SW(IMU) ms", "speedup",
-         "faults", "prefetches"],
-        [[r.label, r.vim_ms, r.hw_ms, r.sw_dp_ms, r.sw_imu_ms, r.vim_speedup,
-          r.page_faults, r.prefetches] for r in result.rows],
-    ))
+    multi_tenant = any(r.config.tenants > 1 for r in result.rows)
+    headers = ["cell", "total ms", "hw ms", "SW(DP) ms", "SW(IMU) ms",
+               "speedup", "faults", "prefetches"]
+    rows = [[r.label, r.vim_ms, r.hw_ms, r.sw_dp_ms, r.sw_imu_ms,
+             r.vim_speedup, r.page_faults, r.prefetches] for r in result.rows]
+    if multi_tenant:
+        headers += ["evictions", "steals"]
+        for row, r in zip(rows, result.rows):
+            row += [r.evictions, r.steals]
+    print(format_table(headers, rows))
+    if multi_tenant:
+        print()
+        print(format_table(
+            ["tenant", "total ms", "faults", "evictions", "steals", "lost"],
+            [[f"{r.label}/{name}", ms, faults, evictions, steals, lost]
+             for r in result.rows
+             for name, ms, faults, evictions, steals, lost in zip(
+                 r.tenant_labels, r.tenant_ms, r.tenant_faults,
+                 r.tenant_evictions, r.tenant_steals, r.tenant_pages_lost,
+             )],
+        ))
     print(
         f"\n{len(result)} cells: {result.executed} simulated, "
         f"{result.cached} from cache"
@@ -235,6 +282,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="TLB-capacity axis (default: one per frame)")
     sweep.add_argument("--pipelined-too", action="store_true",
                        help="also run every cell with the pipelined IMU")
+    sweep.add_argument("--tenants", type=int, nargs="+", default=[1],
+                       help="tenant-count axis (processes sharing the DP-RAM)")
+    sweep.add_argument("--tenant-mix", nargs="+", default=["same"],
+                       help="tenant app mix axis: 'same' or '+'-joined "
+                            "apps, e.g. adpcm+idea")
+    sweep.add_argument("--tenant-repeats", type=int, nargs="+", default=[1],
+                       help="FPGA_EXECUTE calls per tenant axis")
+    sweep.add_argument("--preset", choices=sorted(_SWEEP_PRESETS),
+                       default=None,
+                       help="run a canonical grid (overrides axis flags)")
     sweep.add_argument("--typical", action="store_true",
                        help="also run the typical (non-VIM) coprocessor")
     sweep.add_argument("--jobs", type=int, default=1,

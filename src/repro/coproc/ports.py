@@ -38,6 +38,26 @@ PARAM_OBJECT = 0xFF
 
 #: Width of the CP_OBJ lines: 8 bits of object identifier.
 OBJ_BITS = 8
+
+#: Address-space ids tag object ids in the bits above CP_OBJ: the IMU
+#: widens every CAM match tag to ``asid ++ obj`` so several processes'
+#: translations can coexist (see :attr:`repro.imu.imu.Imu.asid`).
+ASID_SHIFT = OBJ_BITS
+
+
+def tag_obj(asid: int, obj: int) -> int:
+    """The global (ASID-tagged) id of CP_OBJ value *obj* under *asid*."""
+    return (asid << ASID_SHIFT) | obj
+
+
+def obj_asid(tagged: int) -> int:
+    """The owning address-space id of a tagged object id (0 = solo)."""
+    return tagged >> ASID_SHIFT
+
+
+def obj_local(tagged: int) -> int:
+    """The 8-bit CP_OBJ wire value of a tagged object id."""
+    return tagged & ((1 << ASID_SHIFT) - 1)
 #: Width of the CP_ADDR lines: 32-bit byte address within an object.
 ADDR_BITS = 32
 #: Width of the data lines.

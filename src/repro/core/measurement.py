@@ -27,6 +27,9 @@ class Counters:
     page_faults: int = 0
     compulsory_loads: int = 0
     evictions: int = 0
+    #: Evictions whose victim page belonged to another tenant (only
+    #: non-zero in shared-interface multi-tenant runs).
+    steals: int = 0
     writebacks: int = 0
     prefetches: int = 0
     interrupts: int = 0
@@ -120,6 +123,7 @@ class Measurement:
                 "page_faults": self.counters.page_faults,
                 "compulsory_loads": self.counters.compulsory_loads,
                 "evictions": self.counters.evictions,
+                "steals": self.counters.steals,
                 "writebacks": self.counters.writebacks,
                 "prefetches": self.counters.prefetches,
                 "interrupts": self.counters.interrupts,

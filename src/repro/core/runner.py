@@ -94,22 +94,36 @@ class RunResult:
 
     def verify(self) -> None:
         """Check outputs against the software reference (bit-exact)."""
-        expected = self.workload.reference()
-        for obj_id, want in expected.items():
-            got = self.outputs.get(obj_id)
-            if got is None:
-                raise VimError(
-                    f"{self.workload.name}/{self.version}: no output for "
-                    f"object {obj_id}"
-                )
-            if got != want:
-                first_bad = next(
-                    i for i, (a, b) in enumerate(zip(got, want)) if a != b
-                )
-                raise VimError(
-                    f"{self.workload.name}/{self.version}: output object "
-                    f"{obj_id} differs from reference at byte {first_bad}"
-                )
+        verify_outputs(
+            f"{self.workload.name}/{self.version}",
+            self.workload.reference(),
+            self.outputs,
+        )
+
+
+def verify_outputs(
+    name: str, expected: dict[int, bytes], outputs: dict[int, bytes]
+) -> None:
+    """Check *outputs* against a reference, object by object, bit-exact.
+
+    Raises :class:`VimError` naming the first differing byte (or the
+    length mismatch) — shared by :meth:`RunResult.verify` and the
+    multi-tenant executor's per-execution check.
+    """
+    for obj_id, want in expected.items():
+        got = outputs.get(obj_id)
+        if got is None:
+            raise VimError(f"{name}: no output for object {obj_id}")
+        if got != want:
+            first_bad = next(
+                (i for i, (a, b) in enumerate(zip(got, want)) if a != b),
+                min(len(got), len(want)),
+            )
+            raise VimError(
+                f"{name}: output object {obj_id} differs from reference "
+                f"at byte {first_bad} (got {len(got)} bytes, "
+                f"want {len(want)})"
+            )
 
 
 def run_software(system: System, workload: WorkloadSpec) -> RunResult:

@@ -22,20 +22,32 @@ Example::
 from __future__ import annotations
 
 from repro.coproc.bitstream import Bitstream
-from repro.errors import VimError
+from repro.errors import SyscallError, VimError
 from repro.imu.imu import INT_PLD_LINE, Imu
 from repro.core.measurement import Measurement
 from repro.core.runner import RunResult, WorkloadSpec
 from repro.core.system import System
+from repro.coproc.ports import tag_obj
 from repro.os.syscalls import FpgaServices
 from repro.os.vim.manager import TransferMode, Vim
-from repro.os.vim.objects import Direction, Hint
+from repro.os.vim.objects import Direction, Hint, MappedObject
 from repro.os.vim.prefetch import Prefetcher
 from repro.os.vmm import UserBuffer
 
 
 class CoprocessorSession:
-    """A configured coprocessor, ready for repeated FPGA_EXECUTE calls."""
+    """A configured coprocessor, ready for repeated FPGA_EXECUTE calls.
+
+    With ``shared`` set (a :class:`repro.core.tenancy.SharedInterface`)
+    the session becomes one *tenant* of a multi-tenant system: it
+    reuses the shared IMU and VIM — and therefore the shared DP-RAM
+    frame pool and TLB — instead of building its own, tags its objects
+    with the process's address-space id, and acquires the PLD fabric
+    lazily at each ``execute`` (the fabric is time-shared between
+    tenants, not owned for the session's lifetime).  The VIM knobs
+    (policy, transfer mode, prefetcher, TLB capacity) then live on the
+    shared interface and the per-session arguments are ignored.
+    """
 
     def __init__(
         self,
@@ -50,10 +62,30 @@ class CoprocessorSession:
         eager_mapping: bool = True,
         sync_cycles: int | None = None,
         process_name: str = "session",
+        shared=None,
     ) -> None:
         self.system = system
         self.bitstream = bitstream
+        self.shared = shared
         kernel = system.kernel
+        self.reconfigurations = 0
+        if shared is not None:
+            self.imu = shared.imu
+            self.vim = shared.vim
+            self.core = bitstream.build_core()
+            self.core.bind(self.imu)
+            self.process = kernel.spawn(process_name)
+            self.services = FpgaServices(kernel, system.fabric, self.vim)
+            self._setup_measurement = Measurement(name=f"{process_name}/setup")
+            # No FPGA_LOAD here: the fabric is contended, so it is
+            # (re)acquired at execute time and the scheduler decides
+            # who runs; the process stays READY in the run queue.
+            self.domains = system.build_clock_domains(
+                bitstream, self.imu.tick, self.core.tick
+            )
+            self.executions = 0
+            self._closed = False
+            return
         if sync_cycles is None:
             sync_cycles = 0 if bitstream.single_domain else Imu.CDC_SYNC_CYCLES
         self.imu = Imu(
@@ -94,6 +126,11 @@ class CoprocessorSession:
         self.executions = 0
         self._closed = False
 
+    @property
+    def asid(self) -> int:
+        """Address-space id tagging this session's objects (0 solo)."""
+        return self.process.pid if self.shared is not None else 0
+
     # -- object mapping --------------------------------------------------
 
     def map_object(
@@ -111,14 +148,32 @@ class CoprocessorSession:
         ``execute`` calls.
         """
         self._require_open()
+        if not 0 <= obj_id <= 0xFE:
+            # The CP_OBJ wire is 8 bits with 0xFF reserved for the
+            # parameter page; ids outside it could never be addressed
+            # by the core and, once ASID-tagged, would alias another
+            # object's tag.
+            raise SyscallError(
+                f"object id {obj_id} out of range [0, 254]"
+            )
         kernel = self.system.kernel
         buffer = kernel.user_memory.alloc(name, size, self.process.pid)
         if data is not None:
             buffer.fill_from(data)
         kernel.attach_measurement(self._setup_measurement)
         try:
+            # A tenant's object ids are tagged with its ASID so every
+            # tenant keeps the 8-bit CP_OBJ namespace to itself, and
+            # mapping must not require fabric ownership (the
+            # time-shared fabric belongs to whoever executed last).
             self.services.fpga_map_object(
-                self.process, obj_id, buffer, size, direction, hints
+                self.process,
+                tag_obj(self.asid, obj_id),
+                buffer,
+                size,
+                direction,
+                hints,
+                require_fabric=self.shared is None,
             )
         finally:
             kernel.detach_measurement()
@@ -140,23 +195,66 @@ class CoprocessorSession:
 
     # -- execution --------------------------------------------------------
 
-    def execute(self, params: list[int], label: str | None = None) -> RunResult:
+    def _own_objects(self) -> dict[int, MappedObject]:
+        """This session's mapped objects, keyed by their CP_OBJ value."""
+        return {
+            mapped.local_id: mapped
+            for mapped in self.vim.tenant_objects(self.asid)
+        }
+
+    def _acquire_fabric(self) -> None:
+        """Take the time-shared fabric over, reconfiguring if needed.
+
+        In multi-tenant mode the PLD belongs to whoever executed last;
+        a tenant whose turn comes up reclaims it through FPGA_LOAD
+        (paying reconfiguration time on the simulated clock) unless it
+        already owns it from its previous turn.
+        """
+        fabric = self.system.fabric
+        if fabric.owner_pid == self.process.pid:
+            return
+        if fabric.owner_pid is not None:
+            fabric.release(fabric.owner_pid)
+        self.services.fpga_load(self.process, self.bitstream)
+        self.reconfigurations += 1
+
+    def execute(
+        self,
+        params: list[int],
+        label: str | None = None,
+        measurement: Measurement | None = None,
+    ) -> RunResult:
         """One FPGA_EXECUTE: start, service faults, flush, wake.
 
         Returns a :class:`RunResult` whose outputs are snapshots of the
-        OUT objects after the end-of-operation flush.
+        OUT objects after the end-of-operation flush.  Passing
+        *measurement* accumulates this execution's charges into it (the
+        multi-tenant executor keeps one per tenant) instead of starting
+        a fresh one.
         """
         self._require_open()
         system = self.system
         kernel = system.kernel
         self.executions += 1
         name = label or f"exec-{self.executions}"
-        measurement = Measurement(name=name)
+        measurement = measurement if measurement is not None else Measurement(name=name)
         kernel.attach_measurement(measurement)
         self.core.reset()
         try:
+            if self.shared is not None:
+                self._acquire_fabric()
+                # Synchroniser cost follows the active design: a
+                # single-domain tenant pays nothing, a dual-domain one
+                # pays the CDC handshake — same as its solo session.
+                self.imu.sync_cycles = (
+                    0 if self.bitstream.single_domain else Imu.CDC_SYNC_CYCLES
+                )
+            tlb_stats = self.imu.tlb.stats
+            lookups_before = tlb_stats.lookups
+            hits_before = tlb_stats.hits
             self.services.fpga_execute(self.process, list(params))
-            total_bytes = sum(obj.size for obj in self.vim.objects.values())
+            own = self._own_objects()
+            total_bytes = sum(obj.size for obj in own.values())
             deadline = (
                 system.engine.now
                 + system.fabric_ticks_limit(total_bytes)
@@ -174,13 +272,16 @@ class CoprocessorSession:
                 if not arrived:
                     raise VimError(f"{name}: clocks drained without an interrupt")
                 kernel.service_interrupts()
-            kernel.scheduler.pick_next()
-            stats = self.imu.tlb.stats
-            measurement.counters.tlb_lookups = stats.lookups
-            measurement.counters.tlb_hits = stats.hits
+            if self.shared is None:
+                # Solo sessions re-dispatch the woken process here; in
+                # multi-tenant mode the executor owns dispatch so the
+                # round-robin order is decided in one place.
+                kernel.scheduler.pick_next()
+            measurement.counters.tlb_lookups += tlb_stats.lookups - lookups_before
+            measurement.counters.tlb_hits += tlb_stats.hits - hits_before
             outputs = {
                 obj_id: mapped.buffer.snapshot()[: mapped.size]
-                for obj_id, mapped in self.vim.objects.items()
+                for obj_id, mapped in own.items()
                 if mapped.direction & Direction.OUT
             }
         finally:
@@ -199,15 +300,29 @@ class CoprocessorSession:
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        """Release the fabric, the interrupt line and all user memory."""
+        """Release the fabric, the interrupt line and all user memory.
+
+        A shared-interface tenant instead releases only its own slice:
+        its DP-RAM residents, TLB entries, mapped objects and buffers.
+        The interrupt line and the shared IMU/VIM stay up for the other
+        tenants (the :class:`~repro.core.tenancy.SharedInterface` owns
+        them).
+        """
         if self._closed:
             return
         self._closed = True
+        System.stop_clocks(self.domains)
+        if self.shared is not None:
+            self.vim.release_tenant(self.asid)
+            if self.system.fabric.owner_pid == self.process.pid:
+                self.system.fabric.release(self.process.pid)
+            self.system.kernel.user_memory.free_process(self.process.pid)
+            self.process.terminate()
+            return
         self.system.interrupts.unregister(INT_PLD_LINE)
         # An execution aborted mid-service may leave the line asserted;
         # clear it so it cannot fire into the next session's handler.
         self.system.interrupts.clear(INT_PLD_LINE)
-        System.stop_clocks(self.domains)
         self.system.fabric.release(self.process.pid)
         self.system.kernel.user_memory.free_process(self.process.pid)
 

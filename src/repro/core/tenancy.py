@@ -1,0 +1,279 @@
+"""Multi-tenant execution: N sessions contending for one DP-RAM.
+
+The paper's OS story — ``FPGA_EXECUTE`` sleeps the caller, the
+end-of-operation interrupt re-queues it — only becomes visible when
+several processes actually share the interface window.  This module is
+that scenario:
+
+* a :class:`SharedInterface` owns the one IMU and the one VIM every
+  tenant goes through, so the DP-RAM frame pool and the CAM TLB are
+  genuinely shared (translations are ASID-tagged per tenant);
+* :func:`run_tenants` spawns one process per
+  :class:`~repro.os.workload.Workload`, and lets the kernel's
+  round-robin scheduler arbitrate: the dispatched tenant issues one
+  ``FPGA_EXECUTE``, sleeps, is woken by the end-of-operation interrupt
+  and goes to the back of the queue — so tenants interleave executions
+  A, B, C, A, B, C, … until everyone has finished its repeats;
+* between a tenant's turns its pages stay resident; a neighbour's
+  page fault may *steal* them (evict across tenants, writing dirty
+  data back first), which is the contention the per-tenant
+  fault/evict/steal accounting quantifies.
+
+The PLD fabric itself stays exclusive per §3.1 — it is time-shared,
+re-acquired through ``FPGA_LOAD`` whenever a tenant's turn starts and
+someone else configured it last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accounting import TenantStats
+from repro.core.measurement import Measurement
+from repro.core.runner import verify_outputs
+from repro.core.session import CoprocessorSession
+from repro.core.system import System
+from repro.errors import ReproError
+from repro.imu.imu import INT_PLD_LINE, Imu
+from repro.os.vim.manager import TransferMode, Vim
+from repro.os.vim.prefetch import Prefetcher
+from repro.os.workload import Workload
+from repro.sim.time import to_ms
+
+
+class SharedInterface:
+    """The one IMU + VIM pair every tenant session goes through.
+
+    Owns the resources that make the system *multi*-tenant: the ASID-
+    tagged TLB, the shared frame allocator inside the VIM, and the
+    INT_PLD handler registration.  Sessions built with
+    ``CoprocessorSession(..., shared=interface)`` attach to it instead
+    of building their own interface stack.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        policy: str = "fifo",
+        transfer_mode: TransferMode = TransferMode.DOUBLE,
+        pipelined_imu: bool = False,
+        access_cycles: int = 4,
+        prefetcher: Prefetcher | None = None,
+        tlb_capacity: int | None = None,
+        eager_mapping: bool = True,
+    ) -> None:
+        self.system = system
+        self.imu = Imu(
+            system.dpram,
+            system.interrupts,
+            access_cycles=access_cycles,
+            pipelined=pipelined_imu,
+            tlb_capacity=tlb_capacity,
+        )
+        self.vim = Vim(
+            system.kernel,
+            system.dpram,
+            system.bus,
+            self.imu,
+            policy=policy,
+            transfer_mode=transfer_mode,
+            prefetcher=prefetcher,
+            eager_mapping=eager_mapping,
+            shared=True,
+        )
+        system.interrupts.register(INT_PLD_LINE, self.vim.handle_interrupt)
+        self._closed = False
+
+    def close(self) -> None:
+        """Unregister the interrupt handler (after all sessions close)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.system.interrupts.unregister(INT_PLD_LINE)
+        self.system.interrupts.clear(INT_PLD_LINE)
+
+
+@dataclass(frozen=True)
+class TenantRun:
+    """Everything one tenant did during a multi-tenant run."""
+
+    #: Tenant process name.
+    name: str
+    #: Name of the workload spec the tenant ran.
+    workload: str
+    #: Per-tenant fault/evict/steal record.
+    stats: TenantStats
+    #: CPU/HW time decomposition accumulated over all executions.
+    measurement: Measurement
+    #: Output bytes of every execution, in order (``outputs[k]`` maps
+    #: the workload's OUT object ids to their snapshots after call k).
+    outputs: tuple[dict[int, bytes], ...]
+
+
+@dataclass(frozen=True)
+class MultiTenantResult:
+    """Outcome of :func:`run_tenants`."""
+
+    #: Per-tenant records, in workload order.
+    tenants: tuple[TenantRun, ...]
+    #: Wall-clock simulated time from first dispatch to last wakeup.
+    makespan_ms: float
+    #: Scheduler dispatches over the whole run.
+    context_switches: int
+
+    def tenant(self, name: str) -> TenantRun:
+        """Look up a tenant record by process name."""
+        for run in self.tenants:
+            if run.name == name:
+                return run
+        raise ReproError(f"no tenant named {name!r}")
+
+
+def run_tenants(
+    system: System,
+    workloads: list[Workload],
+    policy: str = "fifo",
+    transfer_mode: TransferMode = TransferMode.DOUBLE,
+    pipelined_imu: bool = False,
+    access_cycles: int = 4,
+    prefetcher: Prefetcher | None = None,
+    tlb_capacity: int | None = None,
+    eager_mapping: bool = True,
+    verify: bool = True,
+) -> MultiTenantResult:
+    """Run *workloads* as contending tenant processes on *system*.
+
+    Parameters
+    ----------
+    system:
+        A freshly built :class:`~repro.core.system.System`; its DP-RAM,
+        frame pool and TLB are shared by every tenant.
+    workloads:
+        One :class:`~repro.os.workload.Workload` per tenant.  Each
+        tenant issues ``spec.repeats`` FPGA_EXECUTE calls, one per
+        scheduler dispatch.
+    verify:
+        Check every execution's outputs bit-exactly against the
+        workload's software reference (which is also what its solo run
+        produces), so cross-tenant corruption can never go unnoticed.
+
+    Returns
+    -------
+    MultiTenantResult
+        Per-tenant measurements, fault/evict/steal statistics and
+        output snapshots, plus the run's makespan.
+    """
+    if not workloads:
+        raise ReproError("run_tenants needs at least one workload")
+    kernel = system.kernel
+    shared = SharedInterface(
+        system,
+        policy=policy,
+        transfer_mode=transfer_mode,
+        pipelined_imu=pipelined_imu,
+        access_cycles=access_cycles,
+        prefetcher=prefetcher,
+        tlb_capacity=tlb_capacity,
+        eager_mapping=eager_mapping,
+    )
+    sessions: list[CoprocessorSession] = []
+    try:
+        order: list[int] = []
+        by_pid: dict[int, dict] = {}
+        for index, workload in enumerate(workloads):
+            session = CoprocessorSession(
+                system,
+                workload.spec.bitstream,
+                shared=shared,
+                process_name=workload.tenant_name(index),
+            )
+            sessions.append(session)
+            for spec in workload.spec.objects:
+                session.map_object(
+                    spec.obj_id, spec.name, spec.size, spec.direction, data=spec.data
+                )
+            pid = session.process.pid
+            order.append(pid)
+            by_pid[pid] = {
+                "session": session,
+                "workload": workload,
+                "remaining": workload.repeats,
+                "measurement": Measurement(name=session.process.name),
+                "outputs": [],
+                "dispatches": 0,
+                # The reference computation is pure and the inputs
+                # never change across repeats: compute it once.
+                "expected": workload.spec.reference() if verify else None,
+            }
+        start_ps = system.engine.now
+        switches_before = kernel.scheduler.context_switches
+        while True:
+            process = kernel.scheduler.pick_next()
+            if process is None:
+                break
+            state = by_pid.get(process.pid)
+            if state is None:
+                raise ReproError(
+                    f"scheduler dispatched unknown process {process.pid}"
+                )
+            if state["remaining"] == 0:
+                process.terminate()
+                continue
+            state["dispatches"] += 1
+            workload = state["workload"]
+            session = state["session"]
+            result = session.execute(
+                list(workload.spec.params),
+                label=f"{process.name}/exec-{session.executions + 1}",
+                measurement=state["measurement"],
+            )
+            if verify:
+                # A mismatch here is cross-tenant corruption: the
+                # reference is also what the tenant's solo session
+                # produces.
+                verify_outputs(
+                    f"{process.name}/exec-{session.executions}",
+                    state["expected"],
+                    result.outputs,
+                )
+            state["outputs"].append(dict(result.outputs))
+            state["remaining"] -= 1
+        makespan_ps = system.engine.now - start_ps
+        total_switches = kernel.scheduler.context_switches - switches_before
+        runs = []
+        for pid in order:
+            state = by_pid[pid]
+            session = state["session"]
+            meas: Measurement = state["measurement"]
+            counters = meas.counters
+            stats = TenantStats(
+                asid=pid,
+                name=session.process.name,
+                executions=len(state["outputs"]),
+                dispatches=state["dispatches"],
+                page_faults=counters.page_faults,
+                evictions=counters.evictions,
+                steals=counters.steals,
+                pages_lost=shared.vim.pages_lost.get(pid, 0),
+                writebacks=counters.writebacks,
+                reconfigurations=session.reconfigurations,
+                total_ms=meas.total_ms,
+            )
+            runs.append(
+                TenantRun(
+                    name=session.process.name,
+                    workload=state["workload"].spec.name,
+                    stats=stats,
+                    measurement=meas,
+                    outputs=tuple(state["outputs"]),
+                )
+            )
+        return MultiTenantResult(
+            tenants=tuple(runs),
+            makespan_ms=to_ms(makespan_ps),
+            context_switches=total_switches,
+        )
+    finally:
+        for session in sessions:
+            session.close()
+        shared.close()

@@ -33,6 +33,7 @@ from repro.exp.api import (
     ablation_prefetch,
     ablation_tlb_capacity,
     ablation_transfers,
+    contention,
     figure7,
     figure8,
     figure9,
@@ -41,7 +42,7 @@ from repro.exp.api import (
     translation_overhead,
 )
 from repro.exp.cache import SweepCache
-from repro.exp.cell import run_cell
+from repro.exp.cell import build_tenant_workloads, run_cell
 from repro.exp.results import CellResult
 from repro.exp.spec import CellConfig, SweepSpec, config_hash
 from repro.exp.sweep import SweepResult, run_sweep
@@ -63,7 +64,9 @@ __all__ = [
     "ablation_prefetch",
     "ablation_tlb_capacity",
     "ablation_transfers",
+    "build_tenant_workloads",
     "config_hash",
+    "contention",
     "figure7",
     "figure8",
     "figure9",

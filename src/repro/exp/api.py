@@ -528,6 +528,47 @@ def ablation_tlb_capacity(
 
 
 # ----------------------------------------------------------------------
+# Multi-tenant contention (ROADMAP: several sessions sharing one DP-RAM)
+# ----------------------------------------------------------------------
+
+
+def contention(
+    app: str = "adpcm",
+    input_kb: int = 4,
+    tenant_counts: tuple[int, ...] = (1, 2, 3),
+    repeats: int = 2,
+    tenant_mix: str = "same",
+    jobs: int = 1,
+    cache_dir=None,
+    **vim_kwargs,
+) -> list[CellResult]:
+    """Scale the tenant count on one DP-RAM: the contention sweep.
+
+    One cell per entry of *tenant_counts*: the first (usually 1) is the
+    uncontended baseline, the rest add processes that interleave
+    executions through the round-robin scheduler and steal each
+    other's resident pages.  Returns the raw :class:`CellResult` rows —
+    their ``tenant_*`` tuples carry the per-tenant fault/evict/steal
+    split the solo drivers cannot express.
+    """
+    fields = _vim_fields(**vim_kwargs)
+    configs = [
+        CellConfig(
+            app=app,
+            input_bytes=input_kb * 1024,
+            tenants=count,
+            # CellConfig canonicalises the mix to "same" for count == 1,
+            # so the solo baseline shares one cache hash across mixes.
+            tenant_mix=tenant_mix,
+            tenant_repeats=repeats,
+            **fields,
+        )
+        for count in tenant_counts
+    ]
+    return list(run_sweep(configs, jobs=jobs, cache_dir=cache_dir).rows)
+
+
+# ----------------------------------------------------------------------
 # Portability (§4: "only recompiling the module")
 # ----------------------------------------------------------------------
 

@@ -18,7 +18,20 @@ from repro.exp.spec import CACHE_VERSION, CellConfig
 
 
 class SweepCache:
-    """A directory of ``<config-hash>.json`` cell results."""
+    """A directory of ``<config-hash>.json`` cell results.
+
+    Parameters
+    ----------
+    root : str or Path
+        Cache directory; created (with parents) if missing.
+
+    Notes
+    -----
+    ``len(cache)`` counts the stored entries.  Every entry embeds the
+    full config and :data:`~repro.exp.spec.CACHE_VERSION`, so a schema
+    bump, a hash collision or a hand-edited file degrades to a miss —
+    never to silently wrong numbers.
+    """
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
@@ -28,7 +41,19 @@ class SweepCache:
         return self.root / f"{config.key()}.json"
 
     def load(self, config: CellConfig) -> CellResult | None:
-        """The cached result for *config*, or ``None`` on any miss."""
+        """Look up the cached result for one configuration.
+
+        Parameters
+        ----------
+        config : CellConfig
+            The configuration whose hash names the cache file.
+
+        Returns
+        -------
+        CellResult or None
+            The verified cached row, or ``None`` on any miss (absent
+            file, unreadable JSON, version or config mismatch).
+        """
         path = self._path(config)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
@@ -45,7 +70,18 @@ class SweepCache:
         return result
 
     def store(self, result: CellResult) -> Path:
-        """Persist *result*; returns the file written."""
+        """Persist one executed cell.
+
+        Parameters
+        ----------
+        result : CellResult
+            The row to store; its embedded config provides the key.
+
+        Returns
+        -------
+        Path
+            The JSON file written.
+        """
         path = self._path(result.config)
         payload = {"version": CACHE_VERSION, "result": result.to_dict()}
         path.write_text(

@@ -21,11 +21,13 @@ from repro.core.drivers import (
 from repro.core.runner import WorkloadSpec, run_software, run_typical, run_vim
 from repro.core.soc import PRESETS, SocConfig
 from repro.core.system import System
+from repro.core.tenancy import run_tenants
 from repro.errors import CapacityError, ReproError
 from repro.exp.results import CellResult
 from repro.exp.spec import CellConfig
 from repro.os.vim.manager import TransferMode
 from repro.os.vim.prefetch import Prefetcher, SequentialPrefetcher
+from repro.os.workload import Workload
 from repro.sim.time import to_ms
 
 #: app axis value -> workload builder taking (input_bytes, seed).
@@ -71,6 +73,40 @@ def build_soc(config: CellConfig) -> SocConfig:
     return replace(preset, name="@".join(tags), **overrides)
 
 
+def tenant_apps(config: CellConfig) -> list[str]:
+    """The app each tenant slot runs, per the cell's ``tenant_mix``."""
+    if config.tenant_mix == "same":
+        return [config.app] * config.tenants
+    parts = config.tenant_mix.split("+")
+    return [parts[i % len(parts)] for i in range(config.tenants)]
+
+
+def build_tenant_workloads(config: CellConfig) -> list[Workload]:
+    """One :class:`~repro.os.workload.Workload` per tenant of *config*.
+
+    Tenant *i* runs the app picked by :func:`tenant_apps` on a dataset
+    seeded ``config.seed + i``, so even same-app tenants stream
+    distinct (but deterministic) data, and each issues
+    ``config.tenant_repeats`` FPGA_EXECUTE calls.
+    """
+    workloads = []
+    for index, app in enumerate(tenant_apps(config)):
+        builder = _APP_BUILDERS.get(app)
+        if builder is None:
+            raise ReproError(
+                f"unknown app {app!r}; choices: {sorted(_APP_BUILDERS)}"
+            )
+        spec = builder(config.input_bytes, config.seed + index)
+        workloads.append(
+            Workload(
+                spec=spec,
+                repeats=config.tenant_repeats,
+                name=f"t{index}-{spec.name}",
+            )
+        )
+    return workloads
+
+
 def build_prefetcher(config: CellConfig) -> Prefetcher | None:
     """The prefetcher the cell's VIM runs with (None for "none")."""
     if config.prefetch == "none":
@@ -93,7 +129,31 @@ def run_cell(config: CellConfig, workload: WorkloadSpec | None = None) -> CellRe
     before any number is reported — mis-measurement never outlives the
     cell that produced it.  Passing *workload* overrides the built one
     (used by the legacy drivers that accept a hand-made spec).
+
+    Parameters
+    ----------
+    config : CellConfig
+        The grid point to simulate.  With ``config.tenants > 1`` the
+        cell runs the multi-tenant contention path (see
+        :func:`_run_contended`) instead of the single-shot one.
+    workload : WorkloadSpec, optional
+        Hand-made workload override; single-tenant cells only.
+
+    Returns
+    -------
+    CellResult
+        The typed, JSON-stable result row.
     """
+    if config.tenants > 1 or config.tenant_repeats > 1:
+        # tenants == 1 with repeats > 1 is the *uncontended baseline*
+        # of a contention sweep: the same session-per-process executor,
+        # just with nobody to steal pages from.
+        if workload is not None:
+            raise ReproError(
+                "a workload override cannot be combined with the "
+                "multi-tenant cell path (tenants/tenant_repeats > 1)"
+            )
+        return _run_contended(config)
     workload = workload if workload is not None else build_workload(config)
     soc = build_soc(config)
     sw = run_software(System(soc), workload)
@@ -146,4 +206,90 @@ def run_cell(config: CellConfig, workload: WorkloadSpec | None = None) -> CellRe
         typical_ms=typical_ms,
         typical_speedup=typical_speedup,
         typical_fits=typical_fits,
+    )
+
+
+def _run_contended(config: CellConfig) -> CellResult:
+    """The multi-tenant cell path: N sessions on one shared System.
+
+    The software baseline is every tenant's pure-SW time (times its
+    repeats) summed; the VIM number is the *makespan* of the contended
+    run, so ``vim_speedup`` still reads "how much faster than doing all
+    of this in software".  Functional outputs are verified bit-exact
+    against each tenant's reference inside :func:`run_tenants` — which
+    is also what each tenant's solo session produces, so contention can
+    reorder time but never bytes.
+    """
+    soc = build_soc(config)
+    workloads = build_tenant_workloads(config)
+    sw_ms = 0.0
+    for workload in workloads:
+        sw = run_software(System(soc), workload.spec)
+        sw_ms += sw.total_ms * workload.repeats
+    result = run_tenants(
+        System(soc),
+        workloads,
+        policy=config.policy,
+        transfer_mode=_TRANSFER_MODES[config.transfer],
+        pipelined_imu=config.pipelined_imu,
+        access_cycles=config.access_cycles,
+        prefetcher=build_prefetcher(config),
+        tlb_capacity=config.tlb_capacity,
+    )
+    vim_ms = result.makespan_ms
+    totals = {
+        "hw_ps": 0, "sw_dp_ps": 0, "sw_imu_ps": 0, "sw_other_ps": 0,
+        "page_faults": 0, "compulsory_loads": 0, "evictions": 0,
+        "steals": 0, "writebacks": 0, "prefetches": 0,
+        "bytes_to_dpram": 0, "bytes_from_dpram": 0,
+        "tlb_lookups": 0, "tlb_hits": 0,
+    }
+    for tenant in result.tenants:
+        meas = tenant.measurement
+        counters = meas.counters
+        totals["hw_ps"] += meas.hw_ps
+        totals["sw_dp_ps"] += meas.sw_dp_ps
+        totals["sw_imu_ps"] += meas.sw_imu_ps
+        totals["sw_other_ps"] += meas.sw_other_ps
+        totals["page_faults"] += counters.page_faults
+        totals["compulsory_loads"] += counters.compulsory_loads
+        totals["evictions"] += counters.evictions
+        totals["steals"] += counters.steals
+        totals["writebacks"] += counters.writebacks
+        totals["prefetches"] += counters.prefetches
+        totals["bytes_to_dpram"] += counters.bytes_to_dpram
+        totals["bytes_from_dpram"] += counters.bytes_from_dpram
+        totals["tlb_lookups"] += counters.tlb_lookups
+        totals["tlb_hits"] += counters.tlb_hits
+    return CellResult(
+        config=config,
+        key=config.key(),
+        label=config.label(),
+        workload="+".join(t.workload for t in result.tenants),
+        sw_ms=sw_ms,
+        vim_ms=vim_ms,
+        hw_ms=to_ms(totals["hw_ps"]),
+        sw_dp_ms=to_ms(totals["sw_dp_ps"]),
+        sw_imu_ms=to_ms(totals["sw_imu_ps"]),
+        sw_other_ms=to_ms(totals["sw_other_ps"]),
+        vim_speedup=sw_ms / vim_ms if vim_ms else 0.0,
+        page_faults=totals["page_faults"],
+        compulsory_loads=totals["compulsory_loads"],
+        evictions=totals["evictions"],
+        writebacks=totals["writebacks"],
+        prefetches=totals["prefetches"],
+        bytes_to_dpram=totals["bytes_to_dpram"],
+        bytes_from_dpram=totals["bytes_from_dpram"],
+        tlb_hit_rate=(
+            totals["tlb_hits"] / totals["tlb_lookups"]
+            if totals["tlb_lookups"]
+            else 0.0
+        ),
+        steals=totals["steals"],
+        tenant_labels=tuple(t.name for t in result.tenants),
+        tenant_ms=tuple(t.stats.total_ms for t in result.tenants),
+        tenant_faults=tuple(t.stats.page_faults for t in result.tenants),
+        tenant_evictions=tuple(t.stats.evictions for t in result.tenants),
+        tenant_steals=tuple(t.stats.steals for t in result.tenants),
+        tenant_pages_lost=tuple(t.stats.pages_lost for t in result.tenants),
     )

@@ -15,9 +15,57 @@ from repro.errors import ReproError
 from repro.exp.spec import CellConfig
 
 
+#: CellResult fields that JSON round-trips as lists but the dataclass
+#: stores as tuples (normalised by :meth:`CellResult.from_dict`).
+_TUPLE_FIELDS = (
+    "tenant_labels",
+    "tenant_ms",
+    "tenant_faults",
+    "tenant_evictions",
+    "tenant_steals",
+    "tenant_pages_lost",
+)
+
+
 @dataclass(frozen=True)
 class CellResult:
-    """Measurements of one executed cell (all times in milliseconds)."""
+    """Measurements of one executed cell (all times in milliseconds).
+
+    Parameters
+    ----------
+    config : CellConfig
+        The configuration that produced this row.
+    key, label, workload : str
+        The config's cache hash, its compact human label, and the name
+        of the workload it built.
+    sw_ms, vim_ms, hw_ms, sw_dp_ms, sw_imu_ms, sw_other_ms : float
+        The paper's time decomposition: pure-software total, VIM-based
+        total, and the VIM total's hardware / DP-RAM-management /
+        IMU-management / OS-plumbing components.  For multi-tenant
+        cells ``vim_ms`` is the *makespan* of the whole contended run
+        and the component times are sums over tenants.
+    vim_speedup : float
+        ``sw_ms / vim_ms``.
+    page_faults, compulsory_loads, evictions, steals, writebacks,
+    prefetches, bytes_to_dpram, bytes_from_dpram : int
+        VIM event counters (summed over tenants when ``tenants > 1``;
+        ``steals`` counts cross-tenant evictions and is 0 for solo
+        cells).
+    tlb_hit_rate : float
+        Fraction of IMU TLB lookups that hit.
+    typical_ms, typical_speedup : float or None
+        The non-virtualised coprocessor version, when requested and
+        when the working set fits (``typical_fits``).
+    tenant_labels : tuple of str
+        Per-tenant process names (empty for solo cells); the remaining
+        ``tenant_*`` tuples are indexed identically.
+    tenant_ms, tenant_faults, tenant_evictions, tenant_steals,
+    tenant_pages_lost : tuple
+        Per-tenant time and fault/evict/steal decomposition:
+        ``tenant_steals[i]`` counts evictions tenant *i* inflicted on
+        neighbours, ``tenant_pages_lost[i]`` its own resident pages
+        evicted by neighbours.
+    """
 
     config: CellConfig
     key: str
@@ -41,6 +89,13 @@ class CellResult:
     typical_ms: float | None = None
     typical_speedup: float | None = None
     typical_fits: bool = True
+    steals: int = 0
+    tenant_labels: tuple[str, ...] = ()
+    tenant_ms: tuple[float, ...] = ()
+    tenant_faults: tuple[int, ...] = ()
+    tenant_evictions: tuple[int, ...] = ()
+    tenant_steals: tuple[int, ...] = ()
+    tenant_pages_lost: tuple[int, ...] = ()
 
     @property
     def sw_imu_fraction(self) -> float:
@@ -48,17 +103,45 @@ class CellResult:
         return self.sw_imu_ms / self.vim_ms if self.vim_ms else 0.0
 
     def to_dict(self) -> dict:
-        """JSON-friendly dump; the config nests as its own dict."""
+        """Dump to JSON-friendly primitives.
+
+        Returns
+        -------
+        dict
+            All fields, with the config nested as its own dict and the
+            per-tenant tuples as lists (the JSON encoding).
+        """
         data = asdict(self)
         data["config"] = self.config.to_dict()
+        for name in _TUPLE_FIELDS:
+            data[name] = list(data[name])
         return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "CellResult":
+        """Rebuild a result row from :meth:`to_dict` output.
+
+        Parameters
+        ----------
+        data : dict
+            A dict as produced by :meth:`to_dict` (e.g. loaded from a
+            cache file); unknown keys raise
+            :class:`~repro.errors.ReproError` rather than being
+            silently dropped.
+
+        Returns
+        -------
+        CellResult
+            An exact reconstruction — floats round-trip through
+            ``repr`` in JSON, so ``from_dict(to_dict(r)) == r``.
+        """
         names = {f.name for f in fields(cls)}
         unknown = set(data) - names
         if unknown:
             raise ReproError(f"unknown cell result fields: {sorted(unknown)}")
         payload = dict(data)
         payload["config"] = CellConfig.from_dict(payload["config"])
+        for name in _TUPLE_FIELDS:
+            if name in payload:
+                payload[name] = tuple(payload[name])
         return cls(**payload)

@@ -17,7 +17,8 @@ from dataclasses import asdict, dataclass, fields
 from repro.errors import ReproError
 
 #: Bump when CellResult semantics change, so stale caches miss.
-CACHE_VERSION = 1
+#: (2: multi-tenant axes + per-tenant result columns.)
+CACHE_VERSION = 2
 
 #: Applications the cell runner knows how to build (see exp.cell).
 APPS = ("adpcm", "idea", "idea-dec", "vadd", "adpcm-enc")
@@ -33,9 +34,59 @@ PREFETCHES = ("none", "sequential", "aggressive", "overlapped")
 class CellConfig:
     """One fully-specified simulation: workload x platform x VIM knobs.
 
-    ``page_bytes`` / ``dpram_bytes`` of ``None`` mean "the SoC preset's
-    value"; ``tlb_capacity`` of ``None`` means one entry per DP-RAM
-    page (the prototype's organisation).
+    A frozen bag of primitives (strings, ints, bools) so it can cross a
+    ``multiprocessing`` boundary, be hashed into a cache key, and
+    round-trip through JSON without loss.
+
+    Parameters
+    ----------
+    app : str
+        Workload axis value, one of :data:`APPS`.
+    input_bytes : int
+        Dataset size in bytes (positive).
+    seed : int
+        Dataset seed; changing it changes the generated input bytes.
+    soc : str
+        SoC preset name from :data:`repro.core.soc.PRESETS`.
+    page_bytes, dpram_bytes : int or None
+        Interface-memory geometry overrides; ``None`` means "the SoC
+        preset's value".
+    policy : str
+        DP-RAM replacement policy (see
+        :func:`repro.os.vim.policies.policy_names`).
+    transfer : str
+        Copy cost model, one of :data:`TRANSFERS`.
+    prefetch : str
+        Prefetch strategy, one of :data:`PREFETCHES`; ``prefetch_depth``
+        is the pages-per-fault lookahead.
+    tlb_capacity : int or None
+        IMU TLB entries; ``None`` means one entry per DP-RAM page (the
+        prototype's organisation).
+    pipelined_imu : bool
+        Model the announced pipelined IMU instead of the measured
+        multi-cycle one.
+    access_cycles : int
+        Rising edges from coprocessor request to data (paper: 4).
+    with_typical : bool
+        Also run the non-virtualised "typical" coprocessor version.
+        Incompatible with ``tenants > 1`` (the typical driver owns the
+        whole DP-RAM).
+    tenants : int
+        Number of tenant processes contending for the one DP-RAM.  1
+        (the default) is the classic single-shot cell; above 1 the cell
+        runs through :func:`repro.core.tenancy.run_tenants` and fills
+        the per-tenant columns of :class:`~repro.exp.results.CellResult`.
+    tenant_mix : str
+        How apps are assigned to tenants: ``"same"`` gives every tenant
+        ``app``; a ``"+"``-joined list of :data:`APPS` values (e.g.
+        ``"adpcm+idea"``) assigns tenant *i* the *i*-th entry, cycling.
+        Tenant *i* always gets dataset seed ``seed + i`` so same-app
+        tenants still stream distinct data.  With ``tenants == 1`` a
+        mix is meaningless and is canonicalised to ``"same"`` (after
+        validation), so equivalent solo configs share one cache hash.
+    tenant_repeats : int
+        FPGA_EXECUTE calls per tenant; with >= 2, a tenant re-touches
+        pages a neighbour may have stolen between its turns.
     """
 
     app: str = "adpcm"
@@ -52,6 +103,9 @@ class CellConfig:
     pipelined_imu: bool = False
     access_cycles: int = 4
     with_typical: bool = False
+    tenants: int = 1
+    tenant_mix: str = "same"
+    tenant_repeats: int = 1
 
     def __post_init__(self) -> None:
         if self.app not in APPS:
@@ -80,6 +134,30 @@ class CellConfig:
         if self.prefetch_depth < 1:
             raise ReproError(
                 f"prefetch depth must be >= 1, got {self.prefetch_depth}"
+            )
+        if self.tenants < 1:
+            raise ReproError(f"tenants must be >= 1, got {self.tenants}")
+        if self.tenant_repeats < 1:
+            raise ReproError(
+                f"tenant repeats must be >= 1, got {self.tenant_repeats}"
+            )
+        if self.tenant_mix != "same":
+            parts = self.tenant_mix.split("+")
+            bad = [p for p in parts if p not in APPS]
+            if not parts or bad:
+                raise ReproError(
+                    f"tenant mix {self.tenant_mix!r} must be 'same' or "
+                    f"'+'-joined app names from {APPS} (bad: {bad})"
+                )
+            if self.tenants == 1:
+                # A mix is meaningless with one tenant; canonicalise so
+                # equivalent configs share one cache hash and label.
+                object.__setattr__(self, "tenant_mix", "same")
+        if self.with_typical and (self.tenants > 1 or self.tenant_repeats > 1):
+            raise ReproError(
+                "with_typical is incompatible with the multi-tenant cell "
+                "path (tenants or tenant_repeats > 1): the typical "
+                "coprocessor owns the whole DP-RAM and runs once"
             )
 
     def to_dict(self) -> dict:
@@ -112,6 +190,9 @@ class CellConfig:
             ("tlb_capacity", f"tlb{self.tlb_capacity}"),
             ("pipelined_imu", "pipelined"),
             ("access_cycles", f"ac{self.access_cycles}"),
+            ("tenants", f"x{self.tenants}"),
+            ("tenant_mix", f"mix-{self.tenant_mix}"),
+            ("tenant_repeats", f"rep{self.tenant_repeats}"),
         ):
             if getattr(self, name) != getattr(default, name):
                 parts.append(text)
@@ -140,10 +221,33 @@ def config_hash(config: CellConfig) -> str:
 class SweepSpec:
     """A declarative run grid: the cartesian product of axis values.
 
-    Axis order in :meth:`expand` is fixed (apps outermost, access
-    cycles innermost), so the same spec always yields the same cell
-    sequence — the property that makes ``--jobs N`` output byte-
-    identical to serial execution.
+    Each field is one *axis*: a tuple of values for the matching
+    :class:`CellConfig` field.  Axis order in :meth:`expand` is fixed
+    (``apps`` outermost, ``tenant_repeats`` innermost), so the same
+    spec always yields the same cell sequence — the property that makes
+    ``--jobs N`` output byte-identical to serial execution.
+
+    Parameters
+    ----------
+    apps, input_bytes, seeds, socs, page_bytes, dpram_bytes, policies,
+    transfers, prefetches, prefetch_depths, tlb_capacities, pipelined,
+    access_cycles : tuple
+        Per-axis value tuples; see the same-named :class:`CellConfig`
+        fields for the meaning and the accepted values of each.
+    tenants, tenant_mixes, tenant_repeats : tuple
+        The multi-process contention axes (tenant count, app mix per
+        tenant, FPGA_EXECUTE calls per tenant).
+    with_typical : bool
+        Applied to every cell (not an axis): also run the typical
+        coprocessor version where it fits.
+
+    Examples
+    --------
+    >>> spec = SweepSpec(apps=("adpcm",), policies=("fifo", "lru"))
+    >>> spec.size
+    2
+    >>> [cell.policy for cell in spec.expand()]
+    ['fifo', 'lru']
     """
 
     apps: tuple[str, ...] = ("adpcm",)
@@ -159,19 +263,30 @@ class SweepSpec:
     tlb_capacities: tuple[int | None, ...] = (None,)
     pipelined: tuple[bool, ...] = (False,)
     access_cycles: tuple[int, ...] = (4,)
+    tenants: tuple[int, ...] = (1,)
+    tenant_mixes: tuple[str, ...] = ("same",)
+    tenant_repeats: tuple[int, ...] = (1,)
     with_typical: bool = False
 
     def expand(self) -> list[CellConfig]:
-        """The full run grid, in deterministic axis-product order."""
+        """Expand the grid to concrete cells.
+
+        Returns
+        -------
+        list of CellConfig
+            Every point of the axis product, in deterministic
+            axis-product order (last axis varies fastest).
+        """
         cells = []
         for (
             app, nbytes, seed, soc, page, dpram, policy, transfer,
-            prefetch, depth, tlb, pipe, cycles,
+            prefetch, depth, tlb, pipe, cycles, ntenants, mix, repeats,
         ) in itertools.product(
             self.apps, self.input_bytes, self.seeds, self.socs,
             self.page_bytes, self.dpram_bytes, self.policies,
             self.transfers, self.prefetches, self.prefetch_depths,
             self.tlb_capacities, self.pipelined, self.access_cycles,
+            self.tenants, self.tenant_mixes, self.tenant_repeats,
         ):
             cells.append(
                 CellConfig(
@@ -189,18 +304,22 @@ class SweepSpec:
                     pipelined_imu=pipe,
                     access_cycles=cycles,
                     with_typical=self.with_typical,
+                    tenants=ntenants,
+                    tenant_mix=mix,
+                    tenant_repeats=repeats,
                 )
             )
         return cells
 
     @property
     def size(self) -> int:
-        """Number of cells the spec expands to."""
+        """Number of cells the spec expands to (no expansion needed)."""
         axes = (
             self.apps, self.input_bytes, self.seeds, self.socs,
             self.page_bytes, self.dpram_bytes, self.policies,
             self.transfers, self.prefetches, self.prefetch_depths,
             self.tlb_capacities, self.pipelined, self.access_cycles,
+            self.tenants, self.tenant_mixes, self.tenant_repeats,
         )
         size = 1
         for axis in axes:

@@ -22,7 +22,22 @@ from repro.exp.spec import CellConfig, SweepSpec
 
 @dataclass(frozen=True)
 class SweepResult:
-    """All rows of one sweep plus how much work it actually did."""
+    """All rows of one sweep plus how much work it actually did.
+
+    Parameters
+    ----------
+    rows : tuple of CellResult
+        One row per requested cell, in grid order (duplicates of the
+        same configuration share one simulated result).
+    executed : int
+        Cells actually simulated by this call.
+    cached : int
+        Cells served from the result cache instead of simulated.
+
+    Notes
+    -----
+    Iterating the result iterates ``rows``; ``len`` counts them.
+    """
 
     rows: tuple[CellResult, ...]
     executed: int  #: cells actually simulated this run
@@ -49,10 +64,33 @@ def run_sweep(
 ) -> SweepResult:
     """Execute every cell of *spec* and return rows in grid order.
 
-    ``jobs=1`` runs in-process; ``jobs>1`` distributes the pending
-    (uncached, deduplicated) cells over a process pool.  With
-    *cache_dir* set, previously executed cells are loaded instead of
-    re-simulated and fresh results are persisted for the next run.
+    Parameters
+    ----------
+    spec : SweepSpec or list of CellConfig
+        The grid to run: a declarative spec (expanded via
+        :meth:`~repro.exp.spec.SweepSpec.expand`) or an explicit cell
+        list, whose order is preserved in the output rows.
+    jobs : int
+        Worker processes.  1 runs in-process; above 1 distributes the
+        pending (uncached, deduplicated) cells over a
+        ``multiprocessing`` pool.  Cells are independent deterministic
+        simulations, so the rows are byte-identical to a serial run.
+    cache_dir : str or Path, optional
+        Result-cache directory.  Previously executed cells are loaded
+        instead of re-simulated; fresh results are persisted for the
+        next run.  Cache keys cover every config field plus
+        :data:`~repro.exp.spec.CACHE_VERSION` (see
+        ``docs/extending-sweeps.md`` for the compatibility rules).
+
+    Returns
+    -------
+    SweepResult
+        Rows in grid order plus executed/cached work counts.
+
+    Raises
+    ------
+    ReproError
+        If *jobs* is less than 1.
     """
     if jobs < 1:
         raise ReproError(f"jobs must be >= 1, got {jobs}")

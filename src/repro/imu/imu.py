@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from enum import Enum
 
-from repro.coproc.ports import PARAM_OBJECT, CoprocessorPorts
+from repro.coproc.ports import ASID_SHIFT, PARAM_OBJECT, CoprocessorPorts, tag_obj
 from repro.errors import HardwareError
 from repro.hw.dpram import DualPortRam
 from repro.hw.interrupts import InterruptController
@@ -83,6 +83,9 @@ class Imu:
     #: re-timing, in IMU cycles.
     CDC_SYNC_CYCLES = 6
 
+    #: Bits of the CP_OBJ lines; the ASID occupies the tag bits above.
+    ASID_SHIFT = ASID_SHIFT
+
     def __init__(
         self,
         dpram: DualPortRam,
@@ -108,6 +111,13 @@ class Imu:
         self.ar = AddressRegister()
         self.sr = StatusRegister()
         self.cr = ControlRegister()
+        #: Address-space id of the executing process, written by the OS
+        #: on a tenant switch.  It widens every CAM match tag from
+        #: (obj, vpage) to (asid ++ obj, vpage), so translations of
+        #: several processes can coexist in the TLB while only the
+        #: active tenant's entries match.  Zero (the default) makes the
+        #: tag the identity — single-tenant behaviour is unchanged.
+        self.asid = 0
         self.state = ImuState.IDLE
         self._remaining = 0
         self._last_req = 0
@@ -144,11 +154,25 @@ class Imu:
         elif self.state is ImuState.FAULT:
             self.fault_stall_cycles += 1
 
+    def tag(self, obj: int) -> int:
+        """Widen a CP_OBJ value with the active ASID (CAM match tag).
+
+        With the default ``asid == 0`` this is the identity, so every
+        single-tenant call site sees exactly the historical keys.
+        """
+        return tag_obj(self.asid, obj)
+
     def _begin_translation(self) -> None:
         ports = self.ports
         self._last_req = ports.cp_req.value
         ports.cp_tlbhit.set(0)
-        self.ar.capture(ports.cp_obj.value, ports.cp_addr.value, bool(ports.cp_wr.value))
+        # AR latches the asid-tagged object id: the VIM services faults
+        # against its global (per-tenant) object table.
+        self.ar.capture(
+            self.tag(ports.cp_obj.value),
+            ports.cp_addr.value,
+            bool(ports.cp_wr.value),
+        )
         # Detection is one edge after the request; the access completes
         # access_cycles - 2 edges later so data lands on the
         # access_cycles-th edge overall (Figure 7).  The pipelined IMU
@@ -171,7 +195,7 @@ class Imu:
     def _fire(self) -> None:
         """Perform the TLB lookup and, on a hit, the DP-RAM access."""
         ports = self.ports
-        obj = ports.cp_obj.value
+        obj = self.tag(ports.cp_obj.value)
         addr = ports.cp_addr.value
         vpage = addr >> self.dpram.page_bits
         offset = addr & (self.dpram.page_size - 1)
@@ -205,7 +229,7 @@ class Imu:
     def _release_param_page(self) -> None:
         """Invalidate the parameter-passing page once consumed (§3.2)."""
         self._param_handled = True
-        self.tlb.invalidate(PARAM_OBJECT, 0)
+        self.tlb.invalidate(self.tag(PARAM_OBJECT), 0)
         self.sr.set(StatusRegister.PARAM_RELEASED)
 
     # ------------------------------------------------------------------
@@ -236,12 +260,20 @@ class Imu:
         self.sr.clear(StatusRegister.DONE)
         self.interrupts.clear(self.irq_line)
 
-    def reset(self) -> None:
-        """Reset FSM, ports and TLB for a fresh execution."""
+    def reset(self, keep_tlb: bool = False) -> None:
+        """Reset FSM and ports for a fresh execution.
+
+        ``keep_tlb=True`` preserves the CAM contents: a shared
+        multi-tenant interface resets the datapath between tenant turns
+        while resident translations (tagged with their owners' ASIDs)
+        stay live, which is what lets pages survive a tenant switch.
+        The default flushes the TLB, matching single-tenant behaviour.
+        """
         self.state = ImuState.IDLE
         self._remaining = 0
         self._param_handled = False
-        self.tlb.invalidate_all()
+        if not keep_tlb:
+            self.tlb.invalidate_all()
         self.sr.value = 0
         ports = self.ports
         ports.cp_start.set(0)

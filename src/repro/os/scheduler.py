@@ -1,10 +1,13 @@
 """A minimal round-robin scheduler.
 
-The experiments run one process at a time (as the paper's do), but the
-scheduler is a real one: multiple processes can be created, the current
-process yields the CPU when it sleeps on ``FPGA_EXECUTE``, and the
-end-of-operation wakeup re-queues it — the control flow an OS port of
-the VIM has to integrate with.
+The current process yields the CPU when it sleeps on ``FPGA_EXECUTE``
+and the end-of-operation wakeup re-queues it at the tail — the control
+flow an OS port of the VIM has to integrate with.  Single-shot
+experiments exercise it with one process (as the paper's do);
+multi-tenant runs (:func:`repro.core.tenancy.run_tenants`) put several
+contending processes on this queue and let the rotation decide whose
+``FPGA_EXECUTE`` goes next, which is what interleaves tenants
+A, B, C, A, B, C over the shared DP-RAM.
 """
 
 from __future__ import annotations

@@ -50,18 +50,22 @@ class FpgaServices:
         size: int,
         direction: Direction,
         hints: Hint = Hint.NONE,
+        require_fabric: bool = True,
     ) -> None:
         """Declare *buffer* as coprocessor object *obj_id*.
 
         *direction* and *hints* together are the call's "(d) some flags
-        used for optimisation purposes" (§3.1).
+        used for optimisation purposes" (§3.1).  ``require_fabric=False``
+        skips the fabric-ownership check: mapping is pure VIM
+        bookkeeping, and multi-tenant sessions map objects while the
+        time-shared fabric belongs to whichever tenant executed last.
         """
         if buffer.pid != process.pid:
             raise SyscallError(
                 f"process {process.pid} cannot map buffer owned by "
                 f"process {buffer.pid}"
             )
-        if self.fabric.owner_pid != process.pid:
+        if require_fabric and self.fabric.owner_pid != process.pid:
             raise SyscallError(
                 f"process {process.pid} does not own the fabric; "
                 "call FPGA_LOAD first"

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from enum import Enum
 
-from repro.coproc.ports import PARAM_OBJECT
+from repro.coproc.ports import PARAM_OBJECT, obj_asid, obj_local, tag_obj
 from repro.errors import VimError
 from repro.hw.bus import AhbBus
 from repro.hw.dpram import DualPortRam
@@ -70,6 +70,7 @@ class Vim:
         transfer_mode: TransferMode = TransferMode.DOUBLE,
         prefetcher: Prefetcher | None = None,
         eager_mapping: bool = True,
+        shared: bool = False,
     ) -> None:
         self.kernel = kernel
         self.dpram = dpram
@@ -79,10 +80,20 @@ class Vim:
         self.transfer_mode = transfer_mode
         self.prefetcher = prefetcher
         self.eager_mapping = eager_mapping
+        #: Multi-tenant mode: object ids carry an ASID tag, resident
+        #: pages (and their translations) survive across executions of
+        #: different processes, and eviction may cross tenant lines.
+        self.shared = shared
         self.allocator = FrameAllocator(dpram.num_pages)
         self.objects: dict[int, MappedObject] = {}
         self.process: Process | None = None
         self.execution_done = False
+        #: ASID of the execution currently being serviced (0 when
+        #: single-tenant).
+        self.active_asid = 0
+        #: Per-victim-tenant count of resident pages evicted by *other*
+        #: tenants (the victim side of `Counters.steals`).
+        self.pages_lost: dict[int, int] = {}
         self._ctx = VictimContext(imu.tlb)
         # Pages that are resident but whose TLB entry was displaced by a
         # smaller-than-frame-count TLB; remembers their dirtiness so it
@@ -95,7 +106,7 @@ class Vim:
 
     def map_object(self, mapped: MappedObject) -> None:
         """Register a dataset (FPGA_MAP_OBJECT back end)."""
-        if mapped.obj_id == PARAM_OBJECT:
+        if mapped.local_id == PARAM_OBJECT:
             raise VimError(f"object id {PARAM_OBJECT} is reserved for parameters")
         self.objects[mapped.obj_id] = mapped
 
@@ -103,22 +114,64 @@ class Vim:
         """Forget every mapped object (process teardown)."""
         self.objects.clear()
 
+    def tenant_objects(self, asid: int) -> list[MappedObject]:
+        """The mapped objects owned by *asid* (all of them when 0)."""
+        return [m for m in self.objects.values() if m.asid == asid]
+
+    def release_tenant(self, asid: int) -> None:
+        """Tear down one tenant: free its frames, entries and objects.
+
+        Dirty pages are *not* written back — a closing session has
+        already flushed its outputs at end of operation, so anything
+        still marked dirty belongs to an execution that was abandoned.
+        """
+        for frame in self.allocator.data_frames():
+            owner = self.allocator.owner_of(frame)
+            if owner is None or obj_asid(owner[0]) != asid:
+                continue
+            self.imu.tlb.invalidate(*owner)
+            self._shadow_dirty.discard(owner)
+            self.allocator.release(frame)
+            self.policy.on_release(frame)
+        self.imu.tlb.invalidate(tag_obj(asid, PARAM_OBJECT), 0)
+        for obj_id in [g for g in self.objects if obj_asid(g) == asid]:
+            del self.objects[obj_id]
+
     def setup_execution(self, params: list[int], process: Process) -> None:
         """FPGA_EXECUTE back end: map, pass parameters, start (§3.1)."""
-        if not self.objects:
+        asid = process.pid if self.shared else 0
+        tenant_objects = self.tenant_objects(asid)
+        if not tenant_objects:
             raise VimError("FPGA_EXECUTE with no mapped objects")
         costs = self.kernel.costs
         self.process = process
         self.execution_done = False
-        self.imu.reset()
-        self.allocator.reset()
-        self.policy.reset()
-        self._shadow_dirty.clear()
-        for mapped in self.objects.values():
+        self.active_asid = asid
+        if self.shared:
+            # Tenant switch: point the IMU's CAM tag at the new address
+            # space and reset the datapath, keeping resident
+            # translations of every tenant live in the TLB.
+            self.imu.asid = asid
+            self.imu.reset(keep_tlb=True)
+            self.kernel.spend(costs.imu_register_cycles, Bucket.SW_IMU)
+        else:
+            self.imu.reset()
+            self.allocator.reset()
+            self.policy.reset()
+            self._shadow_dirty.clear()
+        for mapped in tenant_objects:
             mapped.reset_for_execution()
         # Parameter-passing page: write the scalars, install its
         # translation so the coprocessor can fetch them.
         frame = self.allocator.allocate_free()
+        if frame is None and self.shared:
+            # A fully-resident DP-RAM at turn start: evict one data
+            # page (possibly a neighbour's) to host the parameters.
+            candidates = self._eviction_candidates()
+            if candidates:
+                victim = self.policy.victim(candidates, self._ctx)
+                self._evict(victim)
+                frame = victim
         if frame is None:
             raise VimError("no free frame for the parameter page")
         self.allocator.assign_param(frame)
@@ -131,25 +184,31 @@ class Vim:
         self.dpram.cpu_write_page(frame, payload)
         self.kernel.spend(costs.copy_cycles(len(payload)), Bucket.SW_DP)
         self.bus.record(len(payload))
-        self.imu.tlb.insert(PARAM_OBJECT, 0, frame)
+        self._make_tlb_room(self.imu.tag(PARAM_OBJECT), 0)
+        self.imu.tlb.insert(self.imu.tag(PARAM_OBJECT), 0, frame)
         self.kernel.spend(costs.tlb_update_cycles, Bucket.SW_IMU)
         if self.eager_mapping:
-            self._eager_map()
+            self._eager_map(tenant_objects)
         self.imu.start_coprocessor()
 
-    def _eager_map(self) -> None:
-        """Pre-load object pages into free frames, in object-id order.
+    def _eager_map(self, tenant_objects: list[MappedObject]) -> None:
+        """Pre-load the caller's pages into free frames, id order first.
 
         FPGA_EXECUTE "performs the mapping" before launching the
         coprocessor: datasets that fit the DP-RAM are fully resident and
         the execution completes without page faults — the paper's 2 KB
-        adpcm case.
+        adpcm case.  In shared mode pages already resident from an
+        earlier turn are skipped (their translation is still live), and
+        no eviction happens here — residents of other tenants are only
+        displaced on demand, by actual faults.
         """
         ordered = sorted(
-            self.objects.values(), key=lambda m: (not m.pinned, m.obj_id)
+            tenant_objects, key=lambda m: (not m.pinned, m.obj_id)
         )
         for mapped in ordered:
             for vpage in range(mapped.num_pages(self.dpram.page_size)):
+                if self.allocator.frame_of(mapped.obj_id, vpage) is not None:
+                    continue
                 frame = self.allocator.allocate_free()
                 if frame is None:
                     return
@@ -233,10 +292,17 @@ class Vim:
         self.kernel.spend(costs.imu_register_cycles, Bucket.SW_IMU)
 
     def _service_done(self) -> None:
-        """End of operation: flush dirty pages, wake the caller."""
+        """End of operation: flush dirty pages, wake the caller.
+
+        Only the finishing tenant's pages are flushed; a neighbour's
+        dirty residents stay in the DP-RAM until their own end of
+        operation (or until an eviction writes them back).
+        """
         costs = self.kernel.costs
         for entry in self.imu.tlb.dirty_entries():
-            if entry.obj == PARAM_OBJECT:
+            if obj_local(entry.obj) == PARAM_OBJECT:
+                continue
+            if self.shared and obj_asid(entry.obj) != self.active_asid:
                 continue
             mapped = self.objects.get(entry.obj)
             if mapped is None:
@@ -244,11 +310,28 @@ class Vim:
             self._write_back(mapped, entry.vpage, entry.ppage)
             entry.dirty = False
         # Resident pages whose dirty TLB entry was displaced earlier.
+        flushed = set()
         for obj_id, vpage in sorted(self._shadow_dirty):
+            if self.shared and obj_asid(obj_id) != self.active_asid:
+                continue
             frame = self.allocator.frame_of(obj_id, vpage)
             if frame is not None:
                 self._write_back(self.objects[obj_id], vpage, frame)
-        self._shadow_dirty.clear()
+            flushed.add((obj_id, vpage))
+        if self.shared:
+            self._shadow_dirty -= flushed
+        else:
+            self._shadow_dirty.clear()
+        if self.shared:
+            # The parameters died with the execution; reclaim their
+            # frame now so the next tenant's setup finds it free (the
+            # single-tenant path gets this for free from its full
+            # allocator reset).
+            param_frame = self.allocator.param_frame()
+            if param_frame is not None:
+                self.imu.tlb.invalidate(self.imu.tag(PARAM_OBJECT), 0)
+                self.allocator.release(param_frame)
+                self.kernel.spend(costs.page_bookkeeping_cycles, Bucket.SW_OTHER)
         self.imu.acknowledge_done()
         self.kernel.spend(costs.imu_register_cycles, Bucket.SW_IMU)
         if self.process is not None:
@@ -348,6 +431,26 @@ class Vim:
         self.kernel.spend(costs.page_bookkeeping_cycles, Bucket.SW_OTHER)
         self.policy.on_load(frame)
 
+    def _make_tlb_room(self, obj_id: int, vpage: int) -> None:
+        """Displace a TLB entry if inserting (obj_id, vpage) needs one.
+
+        The victim is the least recently used non-parameter entry; its
+        page stays resident, so its dirtiness is remembered for a later
+        reinstall or write-back.
+        """
+        costs = self.kernel.costs
+        tlb = self.imu.tlb
+        if len(tlb) < tlb.capacity or tlb.probe(obj_id, vpage) is not None:
+            return
+        victims = [e for e in tlb.entries() if obj_local(e.obj) != PARAM_OBJECT]
+        if not victims:
+            raise VimError("TLB full of parameter entries; cannot displace")
+        displaced = min(victims, key=lambda e: (e.last_used, e.ppage))
+        if displaced.dirty:
+            self._shadow_dirty.add((displaced.obj, displaced.vpage))
+        tlb.invalidate(displaced.obj, displaced.vpage)
+        self.kernel.spend(costs.tlb_update_cycles, Bucket.SW_IMU)
+
     def _install_translation(
         self, mapped: MappedObject, vpage: int, frame: int
     ) -> None:
@@ -355,17 +458,7 @@ class Vim:
         costs = self.kernel.costs
         tlb = self.imu.tlb
         key = (mapped.obj_id, vpage)
-        if len(tlb) >= tlb.capacity and tlb.probe(*key) is None:
-            # Displace the least recently used non-parameter entry; the
-            # page stays resident, so remember its dirtiness.
-            victims = [e for e in tlb.entries() if e.obj != PARAM_OBJECT]
-            if not victims:
-                raise VimError("TLB full of parameter entries; cannot displace")
-            displaced = min(victims, key=lambda e: (e.last_used, e.ppage))
-            if displaced.dirty:
-                self._shadow_dirty.add((displaced.obj, displaced.vpage))
-            tlb.invalidate(displaced.obj, displaced.vpage)
-            self.kernel.spend(costs.tlb_update_cycles, Bucket.SW_IMU)
+        self._make_tlb_room(*key)
         entry = tlb.insert(mapped.obj_id, vpage, frame)
         if key in self._shadow_dirty:
             entry.dirty = True
@@ -392,6 +485,11 @@ class Vim:
         self.allocator.release(frame)
         self.policy.on_release(frame)
         meas.counters.evictions += 1
+        if self.shared and mapped.asid != self.active_asid:
+            # Cross-tenant steal: charged to the evictor's counters,
+            # recorded against the victim's residency.
+            meas.counters.steals += 1
+            self.pages_lost[mapped.asid] = self.pages_lost.get(mapped.asid, 0) + 1
 
     def _write_back(self, mapped: MappedObject, vpage: int, frame: int) -> None:
         """Copy a dirty page from the DP-RAM to user space."""

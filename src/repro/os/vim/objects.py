@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Flag, auto
 
+from repro.coproc.ports import obj_asid, obj_local
 from repro.errors import SyscallError
 from repro.os.vmm import UserBuffer
 
@@ -65,8 +66,14 @@ class MappedObject:
     written_back: set[int] = field(default_factory=set)
 
     def __post_init__(self) -> None:
-        if not 0 <= self.obj_id <= 0xFE:
-            raise SyscallError(f"object id {self.obj_id} out of range [0, 254]")
+        # The low byte is the CP_OBJ wire value (0xFF is reserved for
+        # the parameter page); the bits above are the owning tenant's
+        # ASID, zero for single-tenant sessions.
+        if self.obj_id < 0 or obj_local(self.obj_id) > 0xFE:
+            raise SyscallError(
+                f"object id {self.obj_id} has reserved low byte or is "
+                "negative (CP_OBJ must be in [0, 254])"
+            )
         if self.size <= 0:
             raise SyscallError(f"object {self.obj_id}: size must be positive")
         if self.size > self.buffer.size:
@@ -95,6 +102,16 @@ class MappedObject:
     def needs_load(self, vpage: int) -> bool:
         """Must this page be copied in from user space on a fault?"""
         return bool(self.direction & Direction.IN) or vpage in self.written_back
+
+    @property
+    def asid(self) -> int:
+        """The owning tenant's address-space id (0 for single-tenant)."""
+        return obj_asid(self.obj_id)
+
+    @property
+    def local_id(self) -> int:
+        """The 8-bit CP_OBJ value the coprocessor uses for this object."""
+        return obj_local(self.obj_id)
 
     @property
     def pinned(self) -> bool:

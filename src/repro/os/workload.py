@@ -1,0 +1,57 @@
+"""OS-level workloads: what one tenant process runs.
+
+The paper evaluates one application at a time, but its OS integration
+(§3.1: ``FPGA_EXECUTE`` "puts the calling process in an interruptible
+sleep mode"; §3.3: the end-of-operation interrupt re-queues it) only
+pays off when several processes share the coprocessor window.  A
+:class:`Workload` is the unit the multi-tenant executor
+(:func:`repro.core.tenancy.run_tenants`) schedules: a process identity
+plus the coprocessor program it keeps re-invoking — the shape of a
+server process answering repeated requests through the same mapped
+objects.
+
+This module is deliberately tiny and data-only; the machinery that
+spawns processes, arbitrates the fabric and drives the clocks lives in
+:mod:`repro.core.tenancy` (the OS layer never imports upward).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import OsError
+
+if TYPE_CHECKING:  # layer rule: os/ must not import core/ at runtime
+    from repro.core.runner import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One tenant's program: a coprocessor job executed repeatedly.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`~repro.core.runner.WorkloadSpec` to run — objects,
+        scalar parameters, bitstream and software reference.
+    repeats:
+        Number of ``FPGA_EXECUTE`` calls the tenant issues.  Each call
+        re-runs the full job over the same mapped objects; between two
+        of its calls the tenant sleeps and other tenants' executions
+        may steal its resident DP-RAM pages.
+    name:
+        Tenant process name (defaults to ``tenant<i>-<spec name>``).
+    """
+
+    spec: "WorkloadSpec"
+    repeats: int = 1
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise OsError(f"workload repeats must be >= 1, got {self.repeats}")
+
+    def tenant_name(self, index: int) -> str:
+        """The process name for this workload at tenant slot *index*."""
+        return self.name or f"tenant{index}-{self.spec.name}"

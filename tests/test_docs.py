@@ -1,0 +1,74 @@
+"""The docs gate: examples in README/docs must run, links must resolve.
+
+Mirrors the CI docs job (``python tools/check_docs.py``) so breakage is
+caught by the tier-1 suite locally, and unit-tests the checker's
+failure detection so a green run actually means something.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402  (repo tool, imported from tools/)
+
+
+class TestRepositoryDocs:
+    def test_all_docs_pass(self):
+        assert check_docs.main() == 0
+
+    def test_required_docs_exist_and_are_linked(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        for doc in ("docs/architecture.md", "docs/extending-sweeps.md"):
+            assert (REPO_ROOT / doc).exists(), doc
+            assert doc in readme, f"README does not link {doc}"
+
+    def test_readme_mentions_contention_grid(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "--preset contention" in readme
+        assert "--tenants" in readme
+
+
+class TestCheckerCatchesRot:
+    def test_dead_link_detected(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("see [missing](no/such/file.md)\n", encoding="utf-8")
+        failures = check_docs.check_links(page)
+        assert len(failures) == 1
+        assert "dead link" in failures[0]
+
+    def test_external_and_anchor_links_ignored(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "[a](https://example.com) [b](#section) [c](mailto:x@y.z)\n",
+            encoding="utf-8",
+        )
+        assert check_docs.check_links(page) == []
+
+    def test_broken_doctest_detected(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "```python\n>>> 1 + 1\n3\n```\n", encoding="utf-8"
+        )
+        failures = check_docs.check_code_blocks(page)
+        assert len(failures) == 1
+        assert "doctest" in failures[0]
+
+    def test_syntax_rot_detected(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "```python\ndef broken(:\n```\n", encoding="utf-8"
+        )
+        failures = check_docs.check_code_blocks(page)
+        assert len(failures) == 1
+        assert "does not compile" in failures[0]
+
+    def test_non_python_blocks_ignored(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "```sh\nthis is : not python ((\n```\n", encoding="utf-8"
+        )
+        assert check_docs.check_code_blocks(page) == []

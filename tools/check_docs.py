@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Documentation checker: executable examples + resolvable links.
+
+Run from the repository root (the CI docs job does)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Two guarantees over ``README.md`` and every ``docs/*.md``:
+
+1. **Code blocks work.**  Fenced ``python`` blocks containing ``>>>``
+   prompts are executed through :mod:`doctest` (in a temporary working
+   directory, so examples may create caches/files freely); plain
+   ``python`` blocks are compiled, which catches syntax rot in
+   illustrative fragments.
+2. **Intra-repo links resolve.**  Every relative markdown link target
+   must exist on disk; dead links fail the job.
+
+Exit status is the number of failing checks (0 = everything passed).
+"""
+
+from __future__ import annotations
+
+import doctest
+import os
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files the checker covers.
+DOC_FILES = ["README.md", *sorted(
+    str(p.relative_to(REPO_ROOT)) for p in (REPO_ROOT / "docs").glob("*.md")
+)]
+
+_FENCE_RE = re.compile(
+    r"^```(?P<lang>[\w+-]*)[ \t]*\n(?P<body>.*?)^```[ \t]*$",
+    re.MULTILINE | re.DOTALL,
+)
+#: Inline markdown links [text](target); images excluded via (?<!!).
+_LINK_RE = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _rel(path: Path) -> str:
+    """*path* relative to the repo root, or absolute when outside it."""
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def iter_python_blocks(text: str):
+    """Yield (line_number, body) for every fenced python block."""
+    for match in _FENCE_RE.finditer(text):
+        if match.group("lang") != "python":
+            continue
+        line = text.count("\n", 0, match.start()) + 1
+        yield line, match.group("body")
+
+
+def check_code_blocks(path: Path) -> list[str]:
+    """Doctest-run (or compile) the python blocks of one file."""
+    failures = []
+    text = path.read_text(encoding="utf-8")
+    for line, body in iter_python_blocks(text):
+        where = f"{_rel(path)}:{line}"
+        if ">>>" in body:
+            parser = doctest.DocTestParser()
+            runner = doctest.DocTestRunner(verbose=False)
+            try:
+                test = parser.get_doctest(
+                    body, {"__name__": "__docs__"}, where, str(path), line
+                )
+            except ValueError as error:
+                failures.append(f"{where}: malformed doctest block: {error}")
+                continue
+            # Examples may write caches or result files: give them a
+            # scratch working directory.
+            previous_cwd = os.getcwd()
+            with tempfile.TemporaryDirectory() as scratch:
+                os.chdir(scratch)
+                try:
+                    results = runner.run(test)
+                finally:
+                    os.chdir(previous_cwd)
+            if results.failed:
+                failures.append(
+                    f"{where}: {results.failed} of {results.attempted} "
+                    "doctest example(s) failed (run with python -m doctest "
+                    "for details)"
+                )
+        else:
+            try:
+                compile(body, where, "exec")
+            except SyntaxError as error:
+                failures.append(f"{where}: python block does not compile: {error}")
+    return failures
+
+
+def check_links(path: Path) -> list[str]:
+    """Verify every relative link target of one file exists on disk."""
+    failures = []
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            failures.append(
+                f"{_rel(path)}:{line}: dead link {target!r}"
+            )
+    return failures
+
+
+def main() -> int:
+    failures: list[str] = []
+    checked_blocks = 0
+    for name in DOC_FILES:
+        path = REPO_ROOT / name
+        if not path.exists():
+            failures.append(f"{name}: file missing")
+            continue
+        checked_blocks += sum(1 for _ in iter_python_blocks(path.read_text(encoding="utf-8")))
+        failures += check_code_blocks(path)
+        failures += check_links(path)
+    for failure in failures:
+        print(f"FAIL {failure}")
+    print(
+        f"checked {len(DOC_FILES)} file(s), {checked_blocks} python "
+        f"block(s): {len(failures)} failure(s)"
+    )
+    return len(failures)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
