@@ -26,13 +26,17 @@ def test_abl5_tlb_capacity(benchmark):
     emit(
         "ABL5: TLB capacity sweep on adpcm-4KB (8 DP-RAM pages)",
         format_table(
-            ["config", "total ms", "faults"],
-            [[r.label, r.total_ms, r.page_faults] for r in rows],
+            ["config", "total ms", "faults", "TLB refills"],
+            [[r.label, r.total_ms, r.page_faults, r.tlb_refills]
+             for r in rows],
         ),
     )
     two, four, eight = rows
-    # Fewer TLB entries -> monotonically more faults and more time.
-    assert two.page_faults >= four.page_faults >= eight.page_faults
-    assert two.page_faults > eight.page_faults
+    # Fewer TLB entries -> monotonically more translation churn and
+    # more time; the data-moving fault count is a property of the
+    # frame pool and stays put.
+    assert two.tlb_refills >= four.tlb_refills >= eight.tlb_refills
+    assert two.tlb_refills > eight.tlb_refills
+    assert two.page_faults == eight.page_faults
     assert two.total_ms > eight.total_ms
-    benchmark.extra_info["faults"] = {r.label: r.page_faults for r in rows}
+    benchmark.extra_info["refills"] = {r.label: r.tlb_refills for r in rows}

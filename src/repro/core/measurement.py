@@ -25,6 +25,11 @@ class Counters:
     """Event counts collected during one execution."""
 
     page_faults: int = 0
+    #: Faults serviced without moving data: the page was resident but
+    #: its translation had been displaced (TLB smaller than the frame
+    #: count).  Split from ``page_faults`` so the §4.1 decomposition is
+    #: not inflated by translation churn.
+    tlb_refills: int = 0
     compulsory_loads: int = 0
     evictions: int = 0
     #: Evictions whose victim page belonged to another tenant (only
@@ -33,6 +38,8 @@ class Counters:
     writebacks: int = 0
     prefetches: int = 0
     interrupts: int = 0
+    #: Page movements performed by DMA descriptor instead of CPU copy.
+    dma_transfers: int = 0
     bytes_to_dpram: int = 0
     bytes_from_dpram: int = 0
     tlb_lookups: int = 0
@@ -121,12 +128,14 @@ class Measurement:
             "sw_app_ms": to_ms(self.sw_app_ps),
             "counters": {
                 "page_faults": self.counters.page_faults,
+                "tlb_refills": self.counters.tlb_refills,
                 "compulsory_loads": self.counters.compulsory_loads,
                 "evictions": self.counters.evictions,
                 "steals": self.counters.steals,
                 "writebacks": self.counters.writebacks,
                 "prefetches": self.counters.prefetches,
                 "interrupts": self.counters.interrupts,
+                "dma_transfers": self.counters.dma_transfers,
                 "bytes_to_dpram": self.counters.bytes_to_dpram,
                 "bytes_from_dpram": self.counters.bytes_from_dpram,
                 "tlb_lookups": self.counters.tlb_lookups,

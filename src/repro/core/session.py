@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from repro.coproc.bitstream import Bitstream
 from repro.errors import SyscallError, VimError
+from repro.hw.dma import INT_DMA_LINE
 from repro.imu.imu import INT_PLD_LINE, Imu
 from repro.core.measurement import Measurement
 from repro.core.runner import RunResult, WorkloadSpec
@@ -107,6 +108,7 @@ class CoprocessorSession:
             transfer_mode=transfer_mode,
             prefetcher=prefetcher,
             eager_mapping=eager_mapping,
+            dma=system.dma,
         )
         self.process = kernel.spawn(process_name)
         kernel.scheduler.pick_next()
@@ -120,6 +122,7 @@ class CoprocessorSession:
         finally:
             kernel.detach_measurement()
         system.interrupts.register(INT_PLD_LINE, self.vim.handle_interrupt)
+        system.interrupts.register(INT_DMA_LINE, self.vim.handle_dma_complete)
         self.domains = system.build_clock_domains(
             bitstream, self.imu.tick, self.core.tick
         )
@@ -320,9 +323,14 @@ class CoprocessorSession:
             self.process.terminate()
             return
         self.system.interrupts.unregister(INT_PLD_LINE)
-        # An execution aborted mid-service may leave the line asserted;
-        # clear it so it cannot fire into the next session's handler.
+        self.system.interrupts.unregister(INT_DMA_LINE)
+        # An execution aborted mid-service (or a final flush still
+        # draining) may leave a line asserted; clear both — and disarm
+        # the DMA completion interrupt — so nothing fires into the next
+        # session's handlers.
         self.system.interrupts.clear(INT_PLD_LINE)
+        self.system.interrupts.clear(INT_DMA_LINE)
+        self.system.dma.quiesce()
         self.system.fabric.release(self.process.pid)
         self.system.kernel.user_memory.free_process(self.process.pid)
 

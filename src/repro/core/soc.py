@@ -38,6 +38,9 @@ class SocConfig:
 
     name: str
     cpu_frequency: Frequency = field(default_factory=lambda: mhz(133.0))
+    #: AHB clock the DMA engine drains descriptors at (the Excalibur
+    #: stripe AHB1 runs at half the 133 MHz core clock).
+    ahb_frequency: Frequency = field(default_factory=lambda: mhz(66.5))
     dpram_bytes: int = 16 * 1024
     page_bytes: int = 2 * 1024
     pld_resources: PldResources = EPXA1_RESOURCES

@@ -15,6 +15,7 @@ from repro.coproc.base import Coprocessor
 from repro.coproc.bitstream import Bitstream
 from repro.errors import SimulationError
 from repro.hw.bus import AhbBus
+from repro.hw.dma import DmaEngine
 from repro.hw.dpram import DualPortRam
 from repro.hw.fpga import PldFabric
 from repro.hw.interrupts import InterruptController
@@ -39,6 +40,9 @@ class System:
         self.interrupts = InterruptController()
         self.dpram = DualPortRam(soc.dpram_bytes, soc.page_bytes)
         self.bus = AhbBus(soc.ahb_timing)
+        self.dma = DmaEngine(
+            self.engine, self.bus, self.interrupts, soc.ahb_frequency
+        )
         self.fabric = PldFabric(soc.pld_resources)
         self.sdram = Sdram(soc.sdram_bytes)
         self.flash = Flash(soc.flash_bytes)

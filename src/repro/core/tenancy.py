@@ -34,6 +34,7 @@ from repro.core.runner import verify_outputs
 from repro.core.session import CoprocessorSession
 from repro.core.system import System
 from repro.errors import ReproError
+from repro.hw.dma import INT_DMA_LINE
 from repro.imu.imu import INT_PLD_LINE, Imu
 from repro.os.vim.manager import TransferMode, Vim
 from repro.os.vim.prefetch import Prefetcher
@@ -80,17 +81,22 @@ class SharedInterface:
             prefetcher=prefetcher,
             eager_mapping=eager_mapping,
             shared=True,
+            dma=system.dma,
         )
         system.interrupts.register(INT_PLD_LINE, self.vim.handle_interrupt)
+        system.interrupts.register(INT_DMA_LINE, self.vim.handle_dma_complete)
         self._closed = False
 
     def close(self) -> None:
-        """Unregister the interrupt handler (after all sessions close)."""
+        """Unregister the interrupt handlers (after all sessions close)."""
         if self._closed:
             return
         self._closed = True
         self.system.interrupts.unregister(INT_PLD_LINE)
         self.system.interrupts.clear(INT_PLD_LINE)
+        self.system.interrupts.unregister(INT_DMA_LINE)
+        self.system.interrupts.clear(INT_DMA_LINE)
+        self.system.dma.quiesce()
 
 
 @dataclass(frozen=True)

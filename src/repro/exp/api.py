@@ -381,6 +381,8 @@ class AblationRow:
     sw_imu_ms: float
     page_faults: int
     prefetches: int = 0
+    tlb_refills: int = 0
+    dma_transfers: int = 0
 
 
 def _ablation_row(label: str, cell: CellResult) -> AblationRow:
@@ -392,6 +394,8 @@ def _ablation_row(label: str, cell: CellResult) -> AblationRow:
         sw_imu_ms=cell.sw_imu_ms,
         page_faults=cell.page_faults,
         prefetches=cell.prefetches,
+        tlb_refills=cell.tlb_refills,
+        dma_transfers=cell.dma_transfers,
     )
 
 
@@ -445,13 +449,14 @@ def ablation_policies(
 def ablation_transfers(
     workload: WorkloadSpec | None = None, jobs: int = 1, cache_dir=None
 ) -> list[AblationRow]:
-    """Double-transfer (measured) vs single-transfer (announced) VIM."""
+    """Double-transfer (measured) vs single-transfer (announced) vs
+    DMA-descriptor (the modelled end point of §4.1's roadmap) VIM."""
     workload = workload or adpcm_workload(8 * 1024)
     return _ablation(
         workload,
         [
             (mode.name.lower(), {"transfer": mode.name.lower()})
-            for mode in (TransferMode.DOUBLE, TransferMode.SINGLE)
+            for mode in (TransferMode.DOUBLE, TransferMode.SINGLE, TransferMode.DMA)
         ],
         jobs=jobs,
         cache_dir=cache_dir,

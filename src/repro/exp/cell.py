@@ -42,6 +42,7 @@ _APP_BUILDERS: dict[str, Callable[[int, int], WorkloadSpec]] = {
 _TRANSFER_MODES = {
     "double": TransferMode.DOUBLE,
     "single": TransferMode.SINGLE,
+    "dma": TransferMode.DMA,
 }
 
 
@@ -206,6 +207,8 @@ def run_cell(config: CellConfig, workload: WorkloadSpec | None = None) -> CellRe
         typical_ms=typical_ms,
         typical_speedup=typical_speedup,
         typical_fits=typical_fits,
+        tlb_refills=counters.tlb_refills,
+        dma_transfers=counters.dma_transfers,
     )
 
 
@@ -239,9 +242,9 @@ def _run_contended(config: CellConfig) -> CellResult:
     vim_ms = result.makespan_ms
     totals = {
         "hw_ps": 0, "sw_dp_ps": 0, "sw_imu_ps": 0, "sw_other_ps": 0,
-        "page_faults": 0, "compulsory_loads": 0, "evictions": 0,
-        "steals": 0, "writebacks": 0, "prefetches": 0,
-        "bytes_to_dpram": 0, "bytes_from_dpram": 0,
+        "page_faults": 0, "tlb_refills": 0, "compulsory_loads": 0,
+        "evictions": 0, "steals": 0, "writebacks": 0, "prefetches": 0,
+        "dma_transfers": 0, "bytes_to_dpram": 0, "bytes_from_dpram": 0,
         "tlb_lookups": 0, "tlb_hits": 0,
     }
     for tenant in result.tenants:
@@ -252,11 +255,13 @@ def _run_contended(config: CellConfig) -> CellResult:
         totals["sw_imu_ps"] += meas.sw_imu_ps
         totals["sw_other_ps"] += meas.sw_other_ps
         totals["page_faults"] += counters.page_faults
+        totals["tlb_refills"] += counters.tlb_refills
         totals["compulsory_loads"] += counters.compulsory_loads
         totals["evictions"] += counters.evictions
         totals["steals"] += counters.steals
         totals["writebacks"] += counters.writebacks
         totals["prefetches"] += counters.prefetches
+        totals["dma_transfers"] += counters.dma_transfers
         totals["bytes_to_dpram"] += counters.bytes_to_dpram
         totals["bytes_from_dpram"] += counters.bytes_from_dpram
         totals["tlb_lookups"] += counters.tlb_lookups
@@ -286,6 +291,8 @@ def _run_contended(config: CellConfig) -> CellResult:
             else 0.0
         ),
         steals=totals["steals"],
+        tlb_refills=totals["tlb_refills"],
+        dma_transfers=totals["dma_transfers"],
         tenant_labels=tuple(t.name for t in result.tenants),
         tenant_ms=tuple(t.stats.total_ms for t in result.tenants),
         tenant_faults=tuple(t.stats.page_faults for t in result.tenants),

@@ -51,6 +51,15 @@ class CellResult:
         VIM event counters (summed over tenants when ``tenants > 1``;
         ``steals`` counts cross-tenant evictions and is 0 for solo
         cells).
+    tlb_refills : int
+        Faults serviced without moving data — the page was resident
+        but its translation had been displaced (TLB smaller than the
+        frame count).  Kept out of ``page_faults`` so the §4.1 fault
+        decomposition is not inflated by translation churn.
+    dma_transfers : int
+        Page movements performed by DMA descriptor instead of CPU copy
+        (non-zero for ``transfer="dma"`` cells and overlapped
+        prefetching).
     tlb_hit_rate : float
         Fraction of IMU TLB lookups that hit.
     typical_ms, typical_speedup : float or None
@@ -90,6 +99,8 @@ class CellResult:
     typical_speedup: float | None = None
     typical_fits: bool = True
     steals: int = 0
+    tlb_refills: int = 0
+    dma_transfers: int = 0
     tenant_labels: tuple[str, ...] = ()
     tenant_ms: tuple[float, ...] = ()
     tenant_faults: tuple[int, ...] = ()

@@ -17,14 +17,18 @@ from dataclasses import asdict, dataclass, fields
 from repro.errors import ReproError
 
 #: Bump when CellResult semantics change, so stale caches miss.
-#: (2: multi-tenant axes + per-tenant result columns.)
-CACHE_VERSION = 2
+#: (3: the ``dma`` transfer axis value, the tlb_refills/dma_transfers
+#: result columns, and the transfer-accounting fixes — parameter-page
+#: copies now honour the transfer mode and TLB-only reinstalls no
+#: longer count as page faults — reprice every cached cell.)
+CACHE_VERSION = 3
 
 #: Applications the cell runner knows how to build (see exp.cell).
 APPS = ("adpcm", "idea", "idea-dec", "vadd", "adpcm-enc")
 
-#: Transfer-mode axis values (maps onto os.vim.manager.TransferMode).
-TRANSFERS = ("double", "single")
+#: Transfer-mode axis values (maps onto os.vim.transfer.TransferMode):
+#: two CPU copies (measured), one (announced), or DMA descriptors.
+TRANSFERS = ("double", "single", "dma")
 
 #: Prefetch axis values (maps onto os.vim.prefetch builders).
 PREFETCHES = ("none", "sequential", "aggressive", "overlapped")

@@ -1,6 +1,7 @@
 """Platform hardware substrate: memories, bus, interrupts, PLD fabric."""
 
 from repro.hw.bus import AhbBus, AhbTiming
+from repro.hw.dma import INT_DMA_LINE, DmaDescriptor, DmaEngine
 from repro.hw.dpram import DualPortRam
 from repro.hw.fpga import (
     EPXA1_RESOURCES,
@@ -15,7 +16,10 @@ from repro.hw.memory import Flash, Memory, Sdram
 __all__ = [
     "AhbBus",
     "AhbTiming",
+    "DmaDescriptor",
+    "DmaEngine",
     "DualPortRam",
+    "INT_DMA_LINE",
     "Flash",
     "InterruptController",
     "Memory",

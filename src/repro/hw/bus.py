@@ -46,6 +46,11 @@ class AhbBus:
         self.timing = timing or AhbTiming()
         self.bytes_transferred = 0
         self.transactions = 0
+        #: Absolute time (ps) until which a burst-mode master (the DMA
+        #: engine) holds the bus; CPU transfers stall until then.
+        self.held_until_ps = 0
+        self.contention_stalls = 0
+        self.contention_ps = 0
 
     def transfer_cycles(self, nbytes: int) -> int:
         """Bus cycles to move *nbytes* (rounded up to whole words)."""
@@ -64,7 +69,29 @@ class AhbBus:
         self.transactions += 1
         return cycles
 
+    def hold_until(self, time_ps: int) -> None:
+        """Extend the bus hold: a DMA burst masters the AHB until then.
+
+        Holds only ever grow — queueing another descriptor behind a
+        draining burst extends the window, it never shortens it.
+        """
+        if time_ps > self.held_until_ps:
+            self.held_until_ps = time_ps
+
+    def grant_delay_ps(self, now_ps: int) -> int:
+        """Arbitration stall a CPU transfer starting at *now_ps* pays."""
+        return max(0, self.held_until_ps - now_ps)
+
+    def note_contention(self, stall_ps: int) -> None:
+        """Account one CPU transfer stalled behind a DMA burst."""
+        if stall_ps > 0:
+            self.contention_stalls += 1
+            self.contention_ps += stall_ps
+
     def reset_stats(self) -> None:
-        """Clear traffic statistics."""
+        """Clear traffic statistics (the hold window is state, not a
+        statistic, and survives)."""
         self.bytes_transferred = 0
         self.transactions = 0
+        self.contention_stalls = 0
+        self.contention_ps = 0

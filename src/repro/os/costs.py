@@ -56,6 +56,15 @@ class CpuCostModel:
     page_bookkeeping_cycles: int = 120
     #: Validating and recording one FPGA_MAP_OBJECT call.
     map_object_cycles: int = 180
+    #: Programming an idle DMA controller for one page transfer
+    #: (descriptor build plus control-register MMIO writes).
+    dma_setup_cycles: int = 220
+    #: Appending one descriptor to an already-running DMA queue (the
+    #: controller is started; only the list write and a doorbell).
+    dma_descriptor_cycles: int = 90
+    #: Servicing the DMA queue-drained completion interrupt (status
+    #: read, descriptor reclaim).
+    dma_complete_cycles: int = 150
 
     def __post_init__(self) -> None:
         for field_name, value in self.__dict__.items():

@@ -84,6 +84,20 @@ class Kernel:
             self._measurement.charge(bucket, ps)
         return ps
 
+    def wait_ps(self, ps: int, bucket: Bucket) -> None:
+        """Model the CPU blocked on hardware: time passes, *bucket* pays.
+
+        Used for stalls that execute no modelled instructions — waiting
+        out a DMA drain, or AHB arbitration behind a burst-mode master
+        — so ``cycles_spent`` does not move, but the elapsed time still
+        lands in the measurement decomposition.
+        """
+        if ps < 0:
+            raise OsError(f"negative wait {ps} ps")
+        self.engine.advance(ps)
+        if self._measurement is not None:
+            self._measurement.charge(bucket, ps)
+
     # -- interrupt dispatch ------------------------------------------------
 
     def service_interrupts(self) -> int:

@@ -23,19 +23,23 @@ Transfer modes
 each time a page is loaded or unloaded from the dual-port memory" (via
 an intermediate kernel buffer) and that the authors were removing the
 limitation.  ``TransferMode.DOUBLE`` reproduces the measured system;
-``TransferMode.SINGLE`` is the announced improvement, benchmarked in
-``benchmarks/bench_ablation_transfers.py``.
+``TransferMode.SINGLE`` is the announced improvement; ``TransferMode.
+DMA`` goes one step further and moves pages by descriptor on the
+modelled :class:`~repro.hw.dma.DmaEngine`.  All three are benchmarked
+in ``benchmarks/bench_ablation_transfers.py``; every copy path in this
+module routes through one :class:`~repro.os.vim.transfer.
+TransferEngine`, where the whole copy cost model lives.
 """
 
 from __future__ import annotations
 
-from enum import Enum
-
 from repro.coproc.ports import PARAM_OBJECT, obj_asid, obj_local, tag_obj
 from repro.errors import VimError
 from repro.hw.bus import AhbBus
+from repro.hw.dma import DmaEngine
 from repro.hw.dpram import DualPortRam
 from repro.imu.imu import Imu
+from repro.imu.tlb import TlbEntry
 from repro.os.costs import Bucket
 from repro.os.kernel import Kernel
 from repro.os.process import Process
@@ -43,18 +47,14 @@ from repro.os.vim.allocator import FrameAllocator
 from repro.os.vim.objects import Direction, MappedObject
 from repro.os.vim.policies import ReplacementPolicy, VictimContext, make_policy
 from repro.os.vim.prefetch import Prefetcher, SequentialPrefetcher
+from repro.os.vim.transfer import TransferMode, make_transfer_engine
+
+__all__ = ["TransferMode", "Vim"]
 
 #: Prefetcher used for objects mapped with the STREAM hint when no
 #: global prefetcher is configured.  The hint is an explicit promise of
 #: sequential access, so speculative eviction is authorised.
 _STREAM_HINT_PREFETCHER = SequentialPrefetcher(depth=1, aggressive=True)
-
-
-class TransferMode(Enum):
-    """How many CPU copies one page movement costs (§4.1)."""
-
-    SINGLE = 1
-    DOUBLE = 2
 
 
 class Vim:
@@ -71,13 +71,33 @@ class Vim:
         prefetcher: Prefetcher | None = None,
         eager_mapping: bool = True,
         shared: bool = False,
+        dma: DmaEngine | None = None,
     ) -> None:
         self.kernel = kernel
         self.dpram = dpram
         self.bus = bus
         self.imu = imu
         self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        #: Informational only: the mode's behaviour lives entirely in
+        #: ``self.transfer`` (built once below); mutating this does not
+        #: change how pages move.
         self.transfer_mode = transfer_mode
+        #: The board's DMA controller (None in bare test rigs; required
+        #: for ``TransferMode.DMA`` and overlapped prefetching).
+        self.dma = dma
+        #: The one object every page movement is performed and charged
+        #: through (see :mod:`repro.os.vim.transfer`).
+        self.transfer = make_transfer_engine(transfer_mode, kernel, bus, dma)
+        if (
+            prefetcher is not None
+            and getattr(prefetcher, "overlapped", False)
+            and dma is None
+        ):
+            # Fail at construction, not mid-fault-service: an
+            # overlapped prefetch is a DMA descriptor by definition.
+            raise VimError(
+                "an overlapped prefetcher needs a DMA engine wired in"
+            )
         self.prefetcher = prefetcher
         self.eager_mapping = eager_mapping
         #: Multi-tenant mode: object ids carry an ASID tag, resident
@@ -181,9 +201,14 @@ class Vim:
                 f"{len(params)} parameters exceed the parameter page "
                 f"({self.dpram.page_size} bytes)"
             )
-        self.dpram.cpu_write_page(frame, payload)
-        self.kernel.spend(costs.copy_cycles(len(payload)), Bucket.SW_DP)
-        self.bus.record(len(payload))
+        # The parameter page is a page movement like any other: the
+        # transfer engine charges it per the active mode (two copies in
+        # DOUBLE — through the same intermediate kernel buffer as data
+        # pages) and stalls it behind a draining DMA burst if the bus
+        # is held (a neighbour's end-of-operation flush, for example).
+        self.transfer.param_copy(
+            lambda: self.dpram.cpu_write_page(frame, payload), len(payload)
+        )
         self._make_tlb_room(self.imu.tag(PARAM_OBJECT), 0)
         self.imu.tlb.insert(self.imu.tag(PARAM_OBJECT), 0, frame)
         self.kernel.spend(costs.tlb_update_cycles, Bucket.SW_IMU)
@@ -234,7 +259,6 @@ class Vim:
     def _service_fault(self) -> None:
         costs = self.kernel.costs
         meas = self.kernel.measurement
-        meas.counters.page_faults += 1
         # Read AR and decode which (object, page) faulted.
         self.kernel.spend(
             costs.imu_register_cycles + costs.fault_decode_cycles, Bucket.SW_IMU
@@ -257,9 +281,20 @@ class Vim:
         if resident_frame is not None:
             # TLB-only miss: the page is resident but its translation
             # was displaced (possible only when the TLB is smaller than
-            # the frame count).  Reinstall the entry; no data moves.
-            self._install_translation(mapped, vpage, resident_frame)
+            # the frame count).  Reinstall the entry; no data moves —
+            # so this is a *TLB refill*, not a page fault, and counting
+            # it as one would inflate the §4.1 fault decomposition.
+            meas.counters.tlb_refills += 1
+            entry = self._install_translation(mapped, vpage, resident_frame)
+            # The faulting access *is* a touch: refresh the usage
+            # assist so a recency policy cannot victimise the frame the
+            # coprocessor is about to retry (e.g. for a prefetch
+            # eviction later in this same service).
+            entry.last_used = self.imu.tlb.stats.lookups
+            entry.referenced = True
+            self.policy.on_touch(resident_frame)
         else:
+            meas.counters.page_faults += 1
             self._bring_in(mapped, vpage)
         prefetcher = self._prefetcher_for(mapped)
         if prefetcher is not None:
@@ -284,7 +319,8 @@ class Vim:
                     target_vpage,
                     frame,
                     compulsory=False,
-                    charge_copy=not overlapped,
+                    prefetch=True,
+                    overlapped=overlapped,
                 )
                 meas.counters.prefetches += 1
         # Let the IMU retry the translation; the coprocessor unstalls.
@@ -296,7 +332,11 @@ class Vim:
 
         Only the finishing tenant's pages are flushed; a neighbour's
         dirty residents stay in the DP-RAM until their own end of
-        operation (or until an eviction writes them back).
+        operation (or until an eviction writes them back).  In DMA mode
+        the flush is *double-buffered*: descriptors are queued and the
+        caller is woken while they drain, so the next execution — the
+        same tenant's or a neighbour's — starts immediately and any CPU
+        copy it issues stalls behind the draining burst.
         """
         costs = self.kernel.costs
         for entry in self.imu.tlb.dirty_entries():
@@ -307,7 +347,7 @@ class Vim:
             mapped = self.objects.get(entry.obj)
             if mapped is None:
                 raise VimError(f"dirty page for unmapped object {entry.obj}")
-            self._write_back(mapped, entry.vpage, entry.ppage)
+            self._write_back(mapped, entry.vpage, entry.ppage, flush=True)
             entry.dirty = False
         # Resident pages whose dirty TLB entry was displaced earlier.
         flushed = set()
@@ -316,7 +356,7 @@ class Vim:
                 continue
             frame = self.allocator.frame_of(obj_id, vpage)
             if frame is not None:
-                self._write_back(self.objects[obj_id], vpage, frame)
+                self._write_back(self.objects[obj_id], vpage, frame, flush=True)
             flushed.add((obj_id, vpage))
         if self.shared:
             self._shadow_dirty -= flushed
@@ -401,24 +441,34 @@ class Vim:
         vpage: int,
         frame: int,
         compulsory: bool,
-        charge_copy: bool = True,
+        prefetch: bool = False,
+        overlapped: bool = False,
     ) -> None:
         """Load (if needed) and map one page into *frame*.
 
-        ``charge_copy=False`` models a copy overlapped with coprocessor
-        execution (the paper's envisioned prefetch win): the data still
-        moves, but no serial CPU time is charged.
+        The copy is performed and charged by the transfer engine:
+        demand loads block until the page is usable, compulsory
+        (eager-mapping) loads may overlap coprocessor start in DMA
+        mode, and an ``overlapped`` prefetch is queued as a DMA
+        descriptor that drains concurrently with execution — the
+        paper's envisioned prefetch win, at real descriptor cost
+        instead of the retired free-copy idealisation.
         """
         costs = self.kernel.costs
         meas = self.kernel.measurement
         offset, length = mapped.page_span(vpage, self.dpram.page_size)
         if mapped.needs_load(vpage):
-            data = mapped.buffer.read(offset, length)
-            self.dpram.cpu_write_page(frame, data)
-            if charge_copy:
-                copy_cycles = costs.copy_cycles(length) * self.transfer_mode.value
-                self.kernel.spend(copy_cycles, Bucket.SW_DP)
-            self.bus.record(length)
+            def move() -> None:
+                self.dpram.cpu_write_page(
+                    frame, mapped.buffer.read(offset, length)
+                )
+
+            if prefetch:
+                self.transfer.prefetch(move, length, overlapped)
+            elif compulsory:
+                self.transfer.preload(move, length)
+            else:
+                self.transfer.load(move, length)
             meas.counters.bytes_to_dpram += length
         else:
             # First touch of an output-only page: nothing to load; clear
@@ -453,7 +503,7 @@ class Vim:
 
     def _install_translation(
         self, mapped: MappedObject, vpage: int, frame: int
-    ) -> None:
+    ) -> TlbEntry:
         """Write one TLB entry, displacing another if the TLB is full."""
         costs = self.kernel.costs
         tlb = self.imu.tlb
@@ -464,6 +514,7 @@ class Vim:
             entry.dirty = True
             self._shadow_dirty.discard(key)
         self.kernel.spend(costs.tlb_update_cycles, Bucket.SW_IMU)
+        return entry
 
     def _evict(self, frame: int) -> None:
         """Evict the data page hosted by *frame* (write back if dirty)."""
@@ -491,16 +542,41 @@ class Vim:
             meas.counters.steals += 1
             self.pages_lost[mapped.asid] = self.pages_lost.get(mapped.asid, 0) + 1
 
-    def _write_back(self, mapped: MappedObject, vpage: int, frame: int) -> None:
-        """Copy a dirty page from the DP-RAM to user space."""
-        costs = self.kernel.costs
+    def _write_back(
+        self, mapped: MappedObject, vpage: int, frame: int, flush: bool = False
+    ) -> None:
+        """Copy a dirty page from the DP-RAM to user space.
+
+        ``flush=True`` marks an end-of-operation write-back, which the
+        DMA transfer engine double-buffers (queued with a completion
+        interrupt, drained while the next execution runs); an eviction
+        write-back (the default) is instead ordered by the descriptor
+        queue in front of the load that displaces it.
+        """
         meas = self.kernel.measurement
         offset, length = mapped.page_span(vpage, self.dpram.page_size)
-        data = self.dpram.cpu_read_page(frame, length)
-        mapped.buffer.write(offset, data)
-        copy_cycles = costs.copy_cycles(length) * self.transfer_mode.value
-        self.kernel.spend(copy_cycles, Bucket.SW_DP)
-        self.bus.record(length)
+
+        def move() -> None:
+            mapped.buffer.write(offset, self.dpram.cpu_read_page(frame, length))
+
+        if flush:
+            self.transfer.flush(move, length)
+        else:
+            self.transfer.write_back(move, length)
         meas.counters.bytes_from_dpram += length
         meas.counters.writebacks += 1
         mapped.written_back.add(vpage)
+
+    # ------------------------------------------------------------------
+    # DMA completion service (registered on INT_DMA)
+    # ------------------------------------------------------------------
+
+    def handle_dma_complete(self, line: int) -> None:
+        """Service the DMA queue-drained interrupt.
+
+        Pure bookkeeping: the completed descriptors' pages were made
+        usable at submit time (translations included), so the handler
+        only reclaims descriptors and acknowledges the controller.
+        """
+        self.kernel.spend(self.kernel.costs.dma_complete_cycles, Bucket.SW_DP)
+        self.kernel.interrupts.clear(line)

@@ -46,6 +46,16 @@ class ReplacementPolicy(ABC):
     def on_load(self, frame: int) -> None:
         """Notification: a page was just loaded into *frame*."""
 
+    def on_touch(self, frame: int) -> None:
+        """Notification: a TLB-only reinstall re-touched *frame*.
+
+        The page was already resident (no data moved), but the
+        coprocessor is actively using it: the VIM refreshes the
+        reinstalled TLB entry's ``last_used``/``referenced`` assist as
+        it notifies, so LRU and second-chance see the touch through
+        their usual TLB reads.  FIFO ignores touches by definition.
+        """
+
     def on_release(self, frame: int) -> None:
         """Notification: *frame* was freed outside eviction."""
 
@@ -78,12 +88,20 @@ class FifoPolicy(ReplacementPolicy):
 
     def victim(self, candidates: list[int], ctx: VictimContext) -> int:
         self._require(candidates)
+        # Frames never seen by on_load (pre-attach residents) predate
+        # everything in the recorded order: they are the oldest cohort,
+        # evicted first, lowest frame number as the deterministic
+        # stand-in for their unknown load times.
+        unseen = [f for f in candidates if f not in self._order]
+        if unseen:
+            return min(unseen)
+        # unseen was empty, so every candidate has a recorded load time
+        # and the scan below always finds one.
         candidate_set = set(candidates)
         for frame in self._order:
             if frame in candidate_set:
                 return frame
-        # Frames loaded before this policy was attached: oldest number.
-        return candidates[0]
+        raise AssertionError("unreachable: every candidate is in _order")
 
 
 class LruPolicy(ReplacementPolicy):
@@ -146,8 +164,11 @@ class SecondChancePolicy(ReplacementPolicy):
     def victim(self, candidates: list[int], ctx: VictimContext) -> int:
         self._require(candidates)
         candidate_set = set(candidates)
-        queue = [f for f in self._order if f in candidate_set]
-        queue += [f for f in candidates if f not in self._order]
+        # Pre-attach residents (never seen by on_load) are the oldest
+        # cohort: sweep them first, lowest frame number first, same as
+        # FIFO's fallback ordering.
+        queue = sorted(f for f in candidates if f not in self._order)
+        queue += [f for f in self._order if f in candidate_set]
         for _ in range(2 * len(queue)):
             frame = queue.pop(0)
             entry = ctx.entry(frame)

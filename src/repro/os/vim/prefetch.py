@@ -46,11 +46,14 @@ class SequentialPrefetcher(Prefetcher):
         aggressive: bool = False,
         overlapped: bool = False,
     ) -> None:
-        """``overlapped=True`` additionally models the paper's future-
-        work improvement: the prefetch copy proceeds concurrently with
-        coprocessor execution (DMA or an idle-loop copy), so it costs
-        no serial CPU time.  This is an idealised upper bound — the
-        data still moves and is still counted in the bus statistics.
+        """``overlapped=True`` additionally realises the paper's
+        future-work improvement: the prefetch copy is queued as a
+        descriptor on the board's :class:`~repro.hw.dma.DmaEngine` and
+        drains concurrently with coprocessor execution, whatever the
+        demand-path transfer mode is.  The CPU pays descriptor
+        programming and the completion interrupt; the bus time is paid
+        by the DMA burst (and by whoever's CPU copy stalls behind it).
+        This replaces the old idealised model that charged nothing.
         """
         if depth < 1:
             raise VimError(f"prefetch depth must be >= 1, got {depth}")

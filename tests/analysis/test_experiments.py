@@ -85,9 +85,15 @@ class TestAblations:
 
     def test_single_transfer_improves(self):
         rows = ablation_transfers(adpcm_workload(3 * 1024))
-        double, single = rows
+        double, single, dma = rows
         assert single.sw_dp_ms < double.sw_dp_ms
         assert single.hw_ms == pytest.approx(double.hw_ms)
+        # The DMA engine removes the CPU copies entirely: descriptor
+        # programming is all that remains in the SW(DP) bucket.
+        assert dma.sw_dp_ms < single.sw_dp_ms
+        assert dma.hw_ms == pytest.approx(double.hw_ms)
+        assert dma.dma_transfers > 0
+        assert dma.page_faults == double.page_faults
 
     def test_aggressive_prefetch_cuts_faults(self):
         rows = ablation_prefetch(adpcm_workload(4 * 1024))
@@ -96,10 +102,13 @@ class TestAblations:
         assert aggressive.prefetches > 0
         assert overlapped.total_ms <= aggressive.total_ms
 
-    def test_smaller_tlb_more_faults(self):
+    def test_smaller_tlb_more_refills(self):
         rows = ablation_tlb_capacity(adpcm_workload(2 * 1024), capacities=(2, 8))
         small, full = rows
-        assert small.page_faults > full.page_faults
+        # Translation churn shows up as TLB refills; the data-moving
+        # fault count is a property of the frame pool, not the TLB.
+        assert small.tlb_refills > full.tlb_refills
+        assert small.page_faults == full.page_faults
 
 
 class TestPortability:

@@ -2,6 +2,8 @@
 
 import json
 
+from repro.exp import cache as cache_module
+from repro.exp import spec as spec_module
 from repro.exp.cache import SweepCache
 from repro.exp.cell import run_cell
 from repro.exp.spec import CellConfig
@@ -61,3 +63,21 @@ class TestDefensiveLoads:
         root = tmp_path / "deep" / "cache"
         SweepCache(root)
         assert root.is_dir()
+
+    def test_cache_version_bump_invalidates_everything(
+        self, tmp_path, monkeypatch
+    ):
+        # A schema bump (e.g. 2 -> 3 for the dma axis and the
+        # tlb_refills column) must turn every stored cell into a clean
+        # miss: the hash moves (new key file) *and* an entry written
+        # under the old version is refused even if found.
+        cache = SweepCache(tmp_path)
+        old_path = cache.store(run_cell(TINY))
+        monkeypatch.setattr(spec_module, "CACHE_VERSION", spec_module.CACHE_VERSION + 1)
+        monkeypatch.setattr(cache_module, "CACHE_VERSION", cache_module.CACHE_VERSION + 1)
+        assert TINY.key() != old_path.stem  # the hash covers the version
+        assert cache.load(TINY) is None
+        # Even a hash collision cannot resurrect it: rename the old
+        # entry onto the new key and the version check still refuses.
+        old_path.rename(tmp_path / f"{TINY.key()}.json")
+        assert cache.load(TINY) is None

@@ -25,6 +25,11 @@ class TestCellConfig:
         with pytest.raises(ReproError):
             CellConfig(transfer="triple")
 
+    def test_dma_is_a_transfer_axis_value(self):
+        config = CellConfig(transfer="dma")
+        assert "dma" in config.label()
+        assert CellConfig.from_dict(config.to_dict()) == config
+
     def test_unknown_prefetch_rejected(self):
         with pytest.raises(ReproError):
             CellConfig(prefetch="psychic")

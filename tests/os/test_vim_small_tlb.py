@@ -22,9 +22,12 @@ class TestTranslationOnlyFaults:
         full = run_vim(System(), workload)
         tiny = run_vim(System(), workload, tlb_capacity=2)
         tiny.verify()
+        # The extra interrupts are translation-only refills, not page
+        # faults: no data moves, so the fault count must not inflate.
+        assert tiny.measurement.counters.tlb_refills > 0
         assert (
             tiny.measurement.counters.page_faults
-            > full.measurement.counters.page_faults
+            == full.measurement.counters.page_faults
         )
         # Same bytes moved: the extra faults were translation-only.
         assert (
@@ -51,7 +54,8 @@ class TestTranslationOnlyFaults:
         result = run_vim(System(), workload, tlb_capacity=3)
         result.verify()
         meas = result.measurement
-        assert meas.counters.page_faults > meas.counters.evictions
+        assert meas.counters.tlb_refills > 0
+        assert meas.counters.evictions == 0
 
     def test_reinstalled_dirty_translation_comes_back_dirty(self):
         # TLB of 2 (param + one data entry) on a three-object workload:
@@ -64,9 +68,9 @@ class TestTranslationOnlyFaults:
         result = run_vim(System(), workload, tlb_capacity=2)
         result.verify()
         meas = result.measurement
-        # Churn actually happened: translation-only faults on top of the
-        # compulsory loads.
-        assert meas.counters.page_faults > 0
+        # Churn actually happened: translation-only refills on top of
+        # the compulsory loads.
+        assert meas.counters.tlb_refills > 0
         # No evictions (everything stays resident), yet the dirty output
         # pages were written back at end of operation.
         assert meas.counters.evictions == 0

@@ -72,3 +72,29 @@ class TestCheckerCatchesRot:
             "```sh\nthis is : not python ((\n```\n", encoding="utf-8"
         )
         assert check_docs.check_code_blocks(page) == []
+
+    def test_stale_transfer_list_detected(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "use `--transfer {double,single}` for the copy axis\n",
+            encoding="utf-8",
+        )
+        failures = check_docs.check_transfer_modes(page)
+        assert len(failures) == 1
+        assert "stale transfer-mode list" in failures[0]
+
+    def test_current_transfer_list_passes(self, tmp_path):
+        from repro.exp.spec import TRANSFERS
+
+        page = tmp_path / "page.md"
+        page.write_text(
+            f"use `--transfer {{{','.join(TRANSFERS)}}}`\n", encoding="utf-8"
+        )
+        assert check_docs.check_transfer_modes(page) == []
+
+    def test_wrapped_transfer_list_is_still_checked(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "`--transfer\n{double,single,dma,warp}`\n", encoding="utf-8"
+        )
+        assert len(check_docs.check_transfer_modes(page)) == 1

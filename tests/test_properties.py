@@ -53,7 +53,9 @@ class TestFunctionalEquivalence:
     @given(
         blocks=st.integers(min_value=1, max_value=300),
         seed=st.integers(min_value=0, max_value=2**16),
-        mode=st.sampled_from([TransferMode.SINGLE, TransferMode.DOUBLE]),
+        mode=st.sampled_from(
+            [TransferMode.SINGLE, TransferMode.DOUBLE, TransferMode.DMA]
+        ),
     )
     @E2E
     def test_idea_vim_equals_software(self, blocks, seed, mode):

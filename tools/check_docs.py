@@ -5,7 +5,7 @@ Run from the repository root (the CI docs job does)::
 
     PYTHONPATH=src python tools/check_docs.py
 
-Two guarantees over ``README.md`` and every ``docs/*.md``:
+Three guarantees over ``README.md`` and every ``docs/*.md``:
 
 1. **Code blocks work.**  Fenced ``python`` blocks containing ``>>>``
    prompts are executed through :mod:`doctest` (in a temporary working
@@ -14,6 +14,10 @@ Two guarantees over ``README.md`` and every ``docs/*.md``:
    illustrative fragments.
 2. **Intra-repo links resolve.**  Every relative markdown link target
    must exist on disk; dead links fail the job.
+3. **Axis-value lists are current.**  Every ``--transfer {...}`` list
+   must match ``repro.exp.spec.TRANSFERS`` exactly — adding a transfer
+   mode without documenting it (or documenting one that does not
+   exist) fails the job.
 
 Exit status is the number of failing checks (0 = everything passed).
 """
@@ -28,11 +32,22 @@ import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.exp.spec import TRANSFERS  # noqa: E402  (repo import, after path setup)
 
 #: Markdown files the checker covers.
 DOC_FILES = ["README.md", *sorted(
     str(p.relative_to(REPO_ROOT)) for p in (REPO_ROOT / "docs").glob("*.md")
 )]
+
+#: Extra markdown that carries axis-value lists but is not end-user
+#: documentation (no doctest/link guarantees): checked only for stale
+#: transfer-mode lists.
+AXIS_LIST_FILES = [
+    str(p.relative_to(REPO_ROOT))
+    for p in (REPO_ROOT / ".claude" / "skills").glob("*/SKILL.md")
+]
 
 _FENCE_RE = re.compile(
     r"^```(?P<lang>[\w+-]*)[ \t]*\n(?P<body>.*?)^```[ \t]*$",
@@ -40,6 +55,9 @@ _FENCE_RE = re.compile(
 )
 #: Inline markdown links [text](target); images excluded via (?<!!).
 _LINK_RE = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+#: A documented transfer-mode list: ``--transfer {double,single,...}``
+#: (possibly wrapped across a line inside a code span).
+_TRANSFER_LIST_RE = re.compile(r"--transfer[ \t]*\n?[ \t]*\{([^}]*)\}")
 
 
 def _rel(path: Path) -> str:
@@ -115,6 +133,26 @@ def check_links(path: Path) -> list[str]:
     return failures
 
 
+def check_transfer_modes(path: Path) -> list[str]:
+    """Fail any stale ``--transfer {...}`` list in one file.
+
+    The documented set must equal :data:`repro.exp.spec.TRANSFERS` —
+    a new axis value must land in the docs in the same commit, and a
+    value the engine does not know must never be advertised.
+    """
+    failures = []
+    text = path.read_text(encoding="utf-8")
+    for match in _TRANSFER_LIST_RE.finditer(text):
+        listed = {v.strip() for v in match.group(1).split(",") if v.strip()}
+        if listed != set(TRANSFERS):
+            line = text.count("\n", 0, match.start()) + 1
+            failures.append(
+                f"{_rel(path)}:{line}: stale transfer-mode list "
+                f"{sorted(listed)} != {sorted(TRANSFERS)}"
+            )
+    return failures
+
+
 def main() -> int:
     failures: list[str] = []
     checked_blocks = 0
@@ -126,6 +164,9 @@ def main() -> int:
         checked_blocks += sum(1 for _ in iter_python_blocks(path.read_text(encoding="utf-8")))
         failures += check_code_blocks(path)
         failures += check_links(path)
+        failures += check_transfer_modes(path)
+    for name in AXIS_LIST_FILES:
+        failures += check_transfer_modes(REPO_ROOT / name)
     for failure in failures:
         print(f"FAIL {failure}")
     print(
