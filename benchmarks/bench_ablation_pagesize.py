@@ -11,14 +11,14 @@ expected shape is a U with the paper's 2 KB at or near the bottom.
 from conftest import emit
 
 from repro.exp import ablation_page_size
-from repro.analysis.tables import format_table
+from repro.exp.report import render_table
 
 
 def test_abl6_page_size(benchmark):
     rows = benchmark.pedantic(ablation_page_size, rounds=1, iterations=1)
     emit(
         "ABL6: page-size sweep on adpcm-8KB (16 KB DP-RAM)",
-        format_table(
+        render_table(
             ["page size", "total ms", "faults", "SW(DP) ms", "SW(IMU) ms"],
             [[r.label, r.total_ms, r.page_faults, r.sw_dp_ms, r.sw_imu_ms]
              for r in rows],

@@ -10,7 +10,7 @@ recovers.
 from conftest import emit
 
 from repro.exp import ablation_pipelined
-from repro.analysis.tables import format_table
+from repro.exp.report import render_table
 from repro.core.drivers import adpcm_workload, idea_workload
 
 
@@ -29,7 +29,7 @@ def test_abl1_pipelined_imu(benchmark):
         table_rows.append([name, multi.hw_ms, pipe.hw_ms, f"{gain * 100:.1f}%"])
     emit(
         "ABL1: pipelined IMU vs 4-cycle IMU (hardware time)",
-        format_table(["workload", "multi-cycle hw ms", "pipelined hw ms",
+        render_table(["workload", "multi-cycle hw ms", "pipelined hw ms",
                       "hw time recovered"], table_rows),
     )
     for name, (multi, pipe) in results.items():

@@ -9,7 +9,7 @@ fault-heavy 8 KB adpcm run and on the 32 KB IDEA run.
 from conftest import emit
 
 from repro.exp import ablation_policies
-from repro.analysis.tables import format_table
+from repro.exp.report import render_table
 from repro.core.drivers import adpcm_workload, idea_workload
 
 
@@ -25,7 +25,7 @@ def test_abl2_replacement_policies(benchmark):
     for name, rows in results.items():
         emit(
             f"ABL2: replacement policies on {name}",
-            format_table(
+            render_table(
                 ["policy", "total ms", "faults", "SW(DP) ms"],
                 [[r.label, r.total_ms, r.page_faults, r.sw_dp_ms] for r in rows],
             ),

@@ -15,7 +15,7 @@ execution"): the same prefetches now also save time.
 from conftest import emit
 
 from repro.exp import ablation_prefetch
-from repro.analysis.tables import format_table
+from repro.exp.report import render_table
 from repro.core.drivers import adpcm_workload
 
 
@@ -28,7 +28,7 @@ def test_abl4_prefetching(benchmark):
     )
     emit(
         "ABL4: sequential prefetching on adpcm-8KB",
-        format_table(
+        render_table(
             ["prefetch", "total ms", "faults", "prefetches"],
             [[r.label, r.total_ms, r.page_faults, r.prefetches] for r in rows],
         ),

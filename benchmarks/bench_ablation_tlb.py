@@ -9,7 +9,7 @@ paper's design rests on the full-size CAM.
 from conftest import emit
 
 from repro.exp import ablation_tlb_capacity
-from repro.analysis.tables import format_table
+from repro.exp.report import render_table
 from repro.core.drivers import adpcm_workload
 
 
@@ -25,7 +25,7 @@ def test_abl5_tlb_capacity(benchmark):
     )
     emit(
         "ABL5: TLB capacity sweep on adpcm-4KB (8 DP-RAM pages)",
-        format_table(
+        render_table(
             ["config", "total ms", "faults", "TLB refills"],
             [[r.label, r.total_ms, r.page_faults, r.tlb_refills]
              for r in rows],

@@ -12,7 +12,7 @@ bus time instead of per-word copy cycles).
 from conftest import emit
 
 from repro.exp import ablation_transfers
-from repro.analysis.tables import format_table
+from repro.exp.report import render_table
 from repro.core.drivers import adpcm_workload, idea_workload
 
 
@@ -29,7 +29,7 @@ def test_abl3_transfer_modes(benchmark):
         saved = double.sw_dp_ms - dma.sw_dp_ms
         emit(
             f"ABL3: transfer modes on {name}",
-            format_table(
+            render_table(
                 ["mode", "total ms", "SW(DP) ms", "DMA xfers"],
                 [
                     [double.label, double.total_ms, double.sw_dp_ms,

@@ -11,7 +11,7 @@ and the steal traffic are attributable to contention alone.
 
 from conftest import emit
 
-from repro.analysis.tables import format_table
+from repro.exp.report import render_table
 from repro.exp import contention
 
 
@@ -25,7 +25,7 @@ def test_cont_tenant_scaling(benchmark):
     rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
     emit(
         "CONT: tenants contending for one DP-RAM (adpcm 4KB, 2 execs each)",
-        format_table(
+        render_table(
             ["cell", "makespan ms", "faults", "evictions", "steals"],
             [[r.label, r.vim_ms, r.page_faults, r.evictions, r.steals]
              for r in rows],
@@ -33,7 +33,7 @@ def test_cont_tenant_scaling(benchmark):
     )
     emit(
         "CONT: per-tenant split",
-        format_table(
+        render_table(
             ["tenant", "ms", "faults", "steals", "pages lost"],
             [[f"{r.config.tenants}x/{name}", ms, faults, steals, lost]
              for r in rows

@@ -9,12 +9,12 @@ from conftest import emit
 
 from repro.analysis.charts import stacked_bar_chart
 from repro.exp import figure8
-from repro.analysis.tables import format_table
+from repro.exp.report import render_table
 
 
 def test_fig8_adpcm_sw_vs_vim(benchmark):
     rows = benchmark.pedantic(figure8, rounds=1, iterations=1)
-    table = format_table(
+    table = render_table(
         ["input", "SW ms", "VIM ms", "HW ms", "SW(DP) ms", "SW(IMU) ms",
          "speedup", "faults"],
         [

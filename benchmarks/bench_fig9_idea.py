@@ -9,7 +9,7 @@ coprocessor while it fits, ~11-12x for the VIM version at every size.
 from conftest import emit
 
 from repro.exp import figure9
-from repro.analysis.tables import format_table
+from repro.exp.report import render_table
 
 #: Paper-reported software times (ms) per input size (kB).
 PAPER_SW_MS = {4: 26.0, 8: 53.0, 16: 105.0, 32: 211.0}
@@ -17,7 +17,7 @@ PAPER_SW_MS = {4: 26.0, 8: 53.0, 16: 105.0, 32: 211.0}
 
 def test_fig9_idea_three_versions(benchmark):
     rows = benchmark.pedantic(figure9, rounds=1, iterations=1)
-    table = format_table(
+    table = render_table(
         ["input", "SW ms", "typical ms", "typical x", "VIM ms", "VIM x", "faults"],
         [
             [

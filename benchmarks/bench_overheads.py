@@ -11,12 +11,12 @@ around 20%)."
 from conftest import emit
 
 from repro.exp import imu_overhead_rows, translation_overhead
-from repro.analysis.tables import format_table
+from repro.exp.report import render_table
 
 
 def test_txt1_imu_management_overhead(benchmark):
     rows = benchmark.pedantic(imu_overhead_rows, rounds=1, iterations=1)
-    table = format_table(
+    table = render_table(
         ["point", "SW(IMU) fraction of total"],
         [[label, f"{fraction * 100:.2f}%"] for label, fraction in rows],
     )

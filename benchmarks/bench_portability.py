@@ -11,7 +11,7 @@ the working set and the fault count drops to zero.
 from conftest import emit
 
 from repro.exp import portability
-from repro.analysis.tables import format_table
+from repro.exp.report import render_table
 from repro.core.drivers import adpcm_workload, idea_workload
 
 
@@ -27,7 +27,7 @@ def test_port_same_binaries_across_devices(benchmark):
     for name, rows in results.items():
         emit(
             f"PORT: {name} across the Excalibur family",
-            format_table(
+            render_table(
                 ["SoC", "DP-RAM", "total ms", "faults"],
                 [[r.soc, f"{r.dpram_kb}KB", r.total_ms, r.page_faults] for r in rows],
             ),

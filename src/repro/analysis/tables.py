@@ -1,50 +1,26 @@
-"""Plain-text result tables.
+"""Plain-text result tables (compat shim over :mod:`repro.exp.report`).
 
-Small, dependency-free formatting used by the benchmark harness to
-print paper-style result rows (and by EXPERIMENTS.md generation).
+The table formatters grew into the cache-driven reporting subsystem —
+`repro.exp.report` owns them now (alongside the ``md``/``csv``
+renderers and the ``repro sweep --report`` machinery).  This module
+keeps the historical import path working, exactly like
+``analysis/experiments.py`` does for the figure drivers.
 """
 
 from __future__ import annotations
 
-from repro.errors import ReproError
+from repro.exp.report import (  # noqa: F401  (re-exported compat names)
+    csv_table,
+    format_cell,
+    format_table,
+    markdown_table,
+    render_table,
+)
 
-
-def format_cell(value) -> str:
-    """Render one value: floats get 3 significant decimals."""
-    if isinstance(value, bool):
-        return "yes" if value else "no"
-    if isinstance(value, float):
-        return f"{value:.3f}"
-    return str(value)
-
-
-def format_table(headers: list[str], rows: list[list]) -> str:
-    """A fixed-width table with a header rule."""
-    if not headers:
-        raise ReproError("table needs at least one column")
-    rendered = [[format_cell(v) for v in row] for row in rows]
-    for row in rendered:
-        if len(row) != len(headers):
-            raise ReproError(
-                f"row has {len(row)} cells, expected {len(headers)}"
-            )
-    widths = [
-        max(len(headers[col]), max((len(r[col]) for r in rendered), default=0))
-        for col in range(len(headers))
-    ]
-    def line(cells: list[str]) -> str:
-        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
-
-    out = [line(headers), line(["-" * w for w in widths])]
-    out += [line(row) for row in rendered]
-    return "\n".join(out)
-
-
-def markdown_table(headers: list[str], rows: list[list]) -> str:
-    """A GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
-    rendered = [[format_cell(v) for v in row] for row in rows]
-    out = ["| " + " | ".join(headers) + " |"]
-    out.append("|" + "|".join("---" for _ in headers) + "|")
-    for row in rendered:
-        out.append("| " + " | ".join(row) + " |")
-    return "\n".join(out)
+__all__ = [
+    "csv_table",
+    "format_cell",
+    "format_table",
+    "markdown_table",
+    "render_table",
+]

@@ -11,6 +11,11 @@ Usage::
     python -m repro run adpcm --kb 8      # one workload, all versions
     python -m repro sweep --app adpcm --kb 4 8 --policy fifo lru \\
         --jobs 4 --cache .sweep-cache     # any design-space grid
+    python -m repro sweep --app adpcm --kb 4 8 --policy fifo lru \\
+        --shard 1/2 --cache shard1       # this machine's half of it
+    python -m repro merge merged shard1 shard2   # recombine shards
+    python -m repro sweep --report --cache merged \\
+        --group-by policy --format md    # tables from cache, no sim
 
 The heavy lifting lives in :mod:`repro.exp`; the CLI is a formatting
 shell around it, so everything printed here is also unit-tested.
@@ -19,18 +24,36 @@ shell around it, so everything printed here is also unit-tested.
 from __future__ import annotations
 
 import argparse
+import functools
 import json
+import re
+import sys
+from pathlib import Path
 from typing import Callable
 
 from repro.analysis.charts import stacked_bar_chart
-from repro.analysis.tables import format_table
 from repro.core.drivers import adpcm_workload, idea_workload, vector_add_workload
 from repro.core.runner import run_software, run_typical, run_vim
 from repro.core.soc import PRESETS
 from repro.core.system import System
 from repro.errors import CapacityError, ReproError
 from repro import exp
-from repro.exp.spec import APPS, PREFETCHES, TRANSFERS, CellConfig, SweepSpec
+from repro.exp.merge import merge_into
+from repro.exp.report import (
+    FORMATS,
+    format_table,
+    group_axes,
+    load_cache_rows,
+    render_report,
+)
+from repro.exp.spec import (
+    APPS,
+    PREFETCHES,
+    TRANSFERS,
+    CellConfig,
+    SweepSpec,
+    shard_cells,
+)
 
 #: Ablation registry: name -> (driver, row headers, row formatter).
 _ABLATIONS: dict[str, Callable] = {
@@ -113,8 +136,8 @@ def _print_portability(args: argparse.Namespace) -> None:
 
 
 #: ``repro sweep --preset`` shorthands: canonical grids for scenario
-#: families that deserve a one-flag spelling.  Explicit axis flags are
-#: ignored when a preset is selected (the preset *is* the grid).
+#: families that deserve a one-flag spelling.  The preset *is* the
+#: grid: combining it with explicit axis flags is a loud error.
 #: Values are explicit cell lists so a preset can be a ragged grid —
 #: e.g. one solo baseline instead of a baseline per tenant mix.
 _SWEEP_PRESETS: dict[str, list] = {
@@ -138,8 +161,146 @@ _SWEEP_PRESETS: dict[str, list] = {
 }
 
 
+#: The sweep flags that *do* shape ``--report`` output; every other
+#: sweep flag selects or runs a grid and is meaningless under
+#: ``--report`` (the stray-flag guard derives that set from the
+#: parser, so new axis flags are covered automatically).
+_REPORT_FLAGS = frozenset({"cache", "report", "group_by", "format"})
+
+
+def iter_option_actions():
+    """Yield ``(subcommand, action)`` for every CLI option action.
+
+    The one walker over argparse internals, shared by the ``--report``
+    stray-flag guard and ``tools/check_docs.py`` (which keeps the
+    documented flag lists in lockstep with the parser).  Top-level
+    parser options yield ``subcommand=None``.
+    """
+    parser = build_parser()
+    subparsers = next(
+        action for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    for action in parser._actions:
+        yield None, action
+    for name, child in subparsers.choices.items():
+        for action in child._actions:
+            yield name, action
+
+
+@functools.lru_cache(maxsize=1)
+def _sweep_actions() -> tuple[argparse.Action, ...]:
+    """The ``sweep`` subparser's actions (for guard introspection).
+
+    Cached: the parser shape is static, and both stray-flag guards
+    would otherwise rebuild the whole parser per call.
+    """
+    return tuple(
+        action for command, action in iter_option_actions()
+        if command == "sweep"
+    )
+
+
+def _option_in_argv(argv, option: str) -> bool:
+    """Whether *option* was explicitly spelled on the command line."""
+    return any(
+        token == option or token.startswith(option + "=") for token in argv
+    )
+
+
+#: Sweep flags that stay meaningful alongside ``--preset`` (the preset
+#: defines the grid; these control how it runs or where results go).
+_PRESET_FLAGS = frozenset(
+    {"preset", "jobs", "cache", "json", "force", "shard"}
+) | _REPORT_FLAGS
+
+
+def _explicit_flags(args: argparse.Namespace, allowed: frozenset) -> list[str]:
+    """Sweep flags set by the user whose dest is not in *allowed*.
+
+    Catches both a non-default value and a flag explicitly spelled
+    with its default (e.g. ``--app adpcm``), which a value comparison
+    alone cannot see — hence the raw-argv scan.
+    """
+    argv = getattr(args, "argv", ())
+    found = set()
+    for action in _sweep_actions():
+        options = [o for o in action.option_strings if o.startswith("--")]
+        if action.dest in allowed or action.dest == "help" or not options:
+            continue
+        if (
+            any(_option_in_argv(argv, option) for option in options)
+            or getattr(args, action.dest) != action.default
+        ):
+            found.add(options[0])
+    return sorted(found)
+
+
+def _print_report(args: argparse.Namespace) -> None:
+    """``sweep --report``: render tables from a cache, simulate nothing."""
+    if args.cache is None:
+        raise ReproError(
+            "--report renders from a result cache: pass --cache DIR "
+            "(the directory a previous sweep or merge wrote)"
+        )
+    stray = _explicit_flags(args, _REPORT_FLAGS)
+    if stray:
+        # Silently reporting the *whole* cache while the user asked for
+        # a sub-grid would put wrong rows under a plausible heading.
+        raise ReproError(
+            f"--report renders every cell in the cache; grid/run flag(s) "
+            f"{', '.join(stray)} would have no effect — drop "
+            "them, or run the sweep without --report (use --group-by to "
+            "organise the report)"
+        )
+    loaded = load_cache_rows(args.cache)
+    if loaded.skipped:
+        # To stderr: stdout stays the pure report (CI byte-compares and
+        # redirects it), but a partial table must not pass silently as
+        # the whole grid.
+        print(
+            f"warning: skipped {loaded.skipped} stale/invalid cache "
+            f"entr{'y' if loaded.skipped == 1 else 'ies'} in "
+            f"{args.cache} (not in this report)",
+            file=sys.stderr,
+        )
+    print(render_report(
+        loaded.rows,
+        group_by=tuple(args.group_by or ()),
+        fmt=args.format,
+    ))
+
+
 def _print_sweep(args: argparse.Namespace) -> None:
+    if args.report:
+        _print_report(args)
+        return
+    argv = getattr(args, "argv", ())
+    if (
+        args.group_by is not None
+        or args.format != "md"
+        or _option_in_argv(argv, "--group-by")
+        or _option_in_argv(argv, "--format")
+    ):
+        # The mirror of the stray-flag guard in _print_report: these
+        # flags only shape --report output, so a sweep that ignored
+        # them would silently not do what the user asked.
+        raise ReproError(
+            "--group-by/--format shape the --report output and have no "
+            "effect on a sweep run; add --report (with --cache DIR) to "
+            "render from a cache"
+        )
     if args.preset:
+        ignored = _explicit_flags(args, _PRESET_FLAGS)
+        if ignored:
+            # Same contract as the other guards: an axis flag the
+            # preset would override must fail loudly, not run a
+            # different grid than the user asked for.
+            raise ReproError(
+                f"--preset {args.preset} defines the whole grid; axis "
+                f"flag(s) {', '.join(ignored)} would be ignored — drop "
+                "them or drop --preset"
+            )
         spec = _SWEEP_PRESETS[args.preset]
     else:
         spec = SweepSpec(
@@ -158,6 +319,35 @@ def _print_sweep(args: argparse.Namespace) -> None:
             tenant_repeats=tuple(args.tenant_repeats),
             with_typical=args.typical,
         )
+    if args.force and not args.json:
+        # Same contract as the other no-effect-flag guards: a silently
+        # ignored --force would misstate what protection the user has.
+        raise ReproError(
+            "--force only gates --json overwrites; pass --json PATH "
+            "alongside it"
+        )
+    if args.json and Path(args.json).is_dir():
+        # Not even --force can write over a directory; refuse before
+        # simulating instead of crashing at dump time.
+        raise ReproError(f"--json target {args.json} is a directory")
+    if args.json and not Path(args.json).parent.is_dir():
+        raise ReproError(
+            f"--json parent directory {Path(args.json).parent} does not "
+            "exist"
+        )
+    if args.json and Path(args.json).exists() and not args.force:
+        # Refuse before simulating anything: a long uncached run whose
+        # dump is then rejected would be pure wasted work.
+        raise ReproError(
+            f"refusing to overwrite {args.json} (it may hold merged "
+            "shard results); pass --force to replace it"
+        )
+    if args.shard is not None:
+        index, total = args.shard
+        cells = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
+        grid_size = len({cell.key() for cell in cells})
+        spec = shard_cells(cells, index, total)
+        print(f"shard {index}/{total}: {len(spec)} of {grid_size} unique cells")
     result = exp.run_sweep(spec, jobs=args.jobs, cache_dir=args.cache)
     multi_tenant = any(r.config.tenants > 1 for r in result.rows)
     headers = ["cell", "total ms", "hw ms", "SW(DP) ms", "SW(IMU) ms",
@@ -190,6 +380,20 @@ def _print_sweep(args: argparse.Namespace) -> None:
             json.dump(payload, handle, sort_keys=True, indent=1)
             handle.write("\n")
         print(f"wrote {args.json}")
+
+
+def _print_merge(args: argparse.Namespace) -> None:
+    print(merge_into(args.dest, args.sources))
+
+
+def _shard_arg(text: str) -> tuple[int, int]:
+    """Parse ``--shard I/N`` (1-based index / shard count)."""
+    match = re.fullmatch(r"(\d+)/(\d+)", text)
+    if match is None:
+        raise argparse.ArgumentTypeError(
+            f"expected I/N (e.g. 1/4), got {text!r}"
+        )
+    return int(match.group(1)), int(match.group(2))
 
 
 _WORKLOADS = {
@@ -229,6 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate artefacts of the DATE 2004 interface-"
         "virtualisation paper.",
+        allow_abbrev=False,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -260,7 +465,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.set_defaults(func=_print_run)
 
     sweep = sub.add_parser(
-        "sweep", help="run a design-space grid (parallel, cached)"
+        "sweep", help="run a design-space grid (parallel, cached)",
+        # No prefix abbreviations: the --report stray-flag guard works
+        # on spelled-out tokens, and `--ap adpcm` resolving to --app
+        # would slip past it.
+        allow_abbrev=False,
     )
     sweep.add_argument("--app", nargs="+", default=["adpcm"], choices=APPS,
                        help="workload axis")
@@ -291,7 +500,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="FPGA_EXECUTE calls per tenant axis")
     sweep.add_argument("--preset", choices=sorted(_SWEEP_PRESETS),
                        default=None,
-                       help="run a canonical grid (overrides axis flags)")
+                       help="run a canonical grid (combining it with "
+                            "axis flags is an error)")
     sweep.add_argument("--typical", action="store_true",
                        help="also run the typical (non-VIM) coprocessor")
     sweep.add_argument("--jobs", type=int, default=1,
@@ -300,7 +510,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result-cache directory (re-runs are incremental)")
     sweep.add_argument("--json", default=None, metavar="PATH",
                        help="also dump the rows as JSON")
+    sweep.add_argument("--force", action="store_true",
+                       help="allow --json to overwrite an existing file")
+    sweep.add_argument("--shard", type=_shard_arg, default=None, metavar="I/N",
+                       help="run only the I-th of N deterministic grid "
+                            "partitions (by sorted config hash, so every "
+                            "machine computes the same split)")
+    sweep.add_argument("--report", action="store_true",
+                       help="render tables from --cache instead of "
+                            "simulating (see --group-by / --format)")
+    sweep.add_argument("--group-by", nargs="+", default=None, metavar="AXIS",
+                       choices=group_axes(),
+                       help="config axes to group the --report tables by "
+                            f"(choices: {', '.join(group_axes())})")
+    sweep.add_argument("--format", default="md", choices=FORMATS,
+                       help="--report output format (default: md)")
     sweep.set_defaults(func=_print_sweep)
+
+    merge = sub.add_parser(
+        "merge", help="merge shard caches / row dumps into one cache"
+    )
+    merge.add_argument("dest", metavar="DEST",
+                       help="destination cache directory (created if missing)")
+    merge.add_argument("sources", metavar="SOURCE", nargs="+",
+                       help="cache directories and/or `sweep --json` dumps")
+    merge.set_defaults(func=_print_merge)
     return parser
 
 
@@ -308,6 +542,9 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Keep the raw tokens: the --report stray-flag guard needs to see
+    # flags that were explicitly spelled with their default values.
+    args.argv = list(argv) if argv is not None else sys.argv[1:]
     try:
         args.func(args)
     except ReproError as error:

@@ -14,6 +14,12 @@ simulation.  This package makes that structure first-class:
 * :func:`~repro.exp.sweep.run_sweep` — execute a whole grid across a
   ``multiprocessing`` pool, with an incremental JSON result cache
   keyed by config hash;
+* :func:`~repro.exp.spec.shard_cells` — deterministic cross-machine
+  grid partitioning (``repro sweep --shard I/N``);
+* :mod:`~repro.exp.merge` — recombine shard caches / row dumps into
+  one cache directory, with conflict detection;
+* :mod:`~repro.exp.report` — render the paper's tables straight from
+  a cache directory, no re-simulation (``repro sweep --report``);
 * :mod:`~repro.exp.api` — the paper's figure/ablation drivers as thin
   sweeps over this engine.
 
@@ -43,8 +49,16 @@ from repro.exp.api import (
 )
 from repro.exp.cache import SweepCache
 from repro.exp.cell import build_tenant_workloads, run_cell
+from repro.exp.merge import MergeConflict, MergeSummary, merge_into
+from repro.exp.report import (
+    FORMATS,
+    load_cache_rows,
+    render_report,
+    render_table,
+    report_from_cache,
+)
 from repro.exp.results import CellResult
-from repro.exp.spec import CellConfig, SweepSpec, config_hash
+from repro.exp.spec import CellConfig, SweepSpec, config_hash, shard_cells
 from repro.exp.sweep import SweepResult, run_sweep
 
 __all__ = [
@@ -52,7 +66,10 @@ __all__ = [
     "AppRow",
     "CellConfig",
     "CellResult",
+    "FORMATS",
     "Figure7Result",
+    "MergeConflict",
+    "MergeSummary",
     "PortabilityRow",
     "SweepCache",
     "SweepResult",
@@ -71,8 +88,14 @@ __all__ = [
     "figure8",
     "figure9",
     "imu_overhead_rows",
+    "load_cache_rows",
+    "merge_into",
     "portability",
+    "render_report",
+    "render_table",
+    "report_from_cache",
     "run_cell",
     "run_sweep",
+    "shard_cells",
     "translation_overhead",
 ]

@@ -17,6 +17,59 @@ from repro.exp.results import CellResult
 from repro.exp.spec import CACHE_VERSION, CellConfig
 
 
+def parse_entry(payload) -> CellResult | None:
+    """Verify one cache-entry payload; the single gatekeeper.
+
+    Every consumer of cache entries (:meth:`SweepCache.load`, the
+    shard merger, the report loader) funnels through this check so
+    they cannot drift apart in what they accept.
+
+    Parameters
+    ----------
+    payload : object
+        A decoded cache-entry JSON payload
+        (``{"version": ..., "result": ...}``).
+
+    Returns
+    -------
+    CellResult or None
+        The verified row, or ``None`` if the payload is not a dict,
+        carries a different :data:`~repro.exp.spec.CACHE_VERSION`,
+        fails :meth:`~repro.exp.results.CellResult.from_dict`, or
+        stores a key that does not match its own config's hash.
+    """
+    if not isinstance(payload, dict) or payload.get("version") != CACHE_VERSION:
+        return None
+    try:
+        result = CellResult.from_dict(payload["result"])
+    except Exception:
+        return None
+    if result.key != result.config.key():
+        return None
+    return result
+
+
+def iter_entries(root: str | Path):
+    """Yield ``(path, CellResult | None)`` for every entry under *root*.
+
+    The one shared directory walk for cache consumers (the shard
+    merger, the report loader): entries are visited in sorted filename
+    order, each payload goes through :func:`parse_entry`, and a file
+    whose name does not match its own config hash yields ``None`` —
+    a hand-renamed entry is skipped, never re-keyed.
+    """
+    for path in sorted(Path(root).glob("*.json")):
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            yield path, None
+            continue
+        result = parse_entry(payload)
+        if result is not None and result.key != path.stem:
+            result = None
+        yield path, result
+
+
 class SweepCache:
     """A directory of ``<config-hash>.json`` cell results.
 
@@ -59,13 +112,8 @@ class SweepCache:
             payload = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
             return None
-        if payload.get("version") != CACHE_VERSION:
-            return None
-        try:
-            result = CellResult.from_dict(payload["result"])
-        except Exception:
-            return None
-        if result.config != config:
+        result = parse_entry(payload)
+        if result is None or result.config != config:
             return None
         return result
 

@@ -1,0 +1,220 @@
+"""Merge sharded sweep results into one cache directory.
+
+A grid sharded with ``repro sweep --shard I/N`` leaves N partial cache
+directories (or ``--json`` row dumps) on N machines.  This module
+recombines them: every entry lands in one destination cache under its
+config hash, written through :class:`~repro.exp.cache.SweepCache` so
+the merged files are byte-identical to what a single unsharded run
+would have produced — which is what makes a post-merge re-run report
+``0 simulated`` and a post-merge ``repro sweep --report`` byte-match
+the unsharded report.
+
+Two sources claiming the *same* config hash with *different* results
+mean something is broken (non-deterministic cell, hand-edited file,
+mixed-up directories); the merge refuses loudly instead of silently
+picking a winner.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.exp.cache import SweepCache, iter_entries, parse_entry
+from repro.exp.results import CellResult
+from repro.exp.spec import CACHE_VERSION
+
+
+@dataclass(frozen=True)
+class MergeConflict:
+    """Two sources disagreeing about one config hash."""
+
+    key: str  #: the contested config hash
+    source: str  #: where the conflicting entry came from
+    existing: str  #: where the previously-merged entry came from
+
+    def __str__(self) -> str:
+        return (
+            f"conflicting results for config {self.key}: "
+            f"{self.source} disagrees with {self.existing}"
+        )
+
+
+@dataclass(frozen=True)
+class MergeSummary:
+    """What one :func:`merge_into` call did.
+
+    Parameters
+    ----------
+    dest : str
+        The destination cache directory.
+    written : int
+        Entries newly written to the destination.
+    identical : int
+        Entries that already existed with byte-equal meaning (same
+        config hash, equal result) — duplicates across shards or
+        re-merges; skipped.
+    skipped : int
+        Source files that were not loadable current-version entries
+        (stale :data:`~repro.exp.spec.CACHE_VERSION`, corrupt JSON,
+        hash mismatch) and were ignored.
+    sources : tuple of str
+        The merged sources, in merge order.
+    """
+
+    dest: str
+    written: int
+    identical: int
+    skipped: int
+    sources: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return (
+            f"merged {len(self.sources)} source(s) into {self.dest}: "
+            f"{self.written} written, {self.identical} identical, "
+            f"{self.skipped} skipped"
+        )
+
+
+def _iter_source(path: Path):
+    """Yield ``(origin, CellResult | None)`` for one merge source.
+
+    A directory is treated as a sweep cache (one payload per
+    ``*.json`` file, which must be named by its config hash — same
+    rule as the report loader); a file as a ``repro sweep --json``
+    dump (a JSON list of bare result rows, adopted under the current
+    :data:`~repro.exp.spec.CACHE_VERSION`).
+    """
+    if path.is_dir():
+        for entry, result in iter_entries(path):
+            yield str(entry), result
+        return
+    try:
+        rows = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        raise ReproError(f"unreadable merge source {path}: {error}")
+    if not isinstance(rows, list):
+        raise ReproError(
+            f"merge source {path} is not a cache directory or a "
+            "`repro sweep --json` row dump"
+        )
+    for index, row in enumerate(rows):
+        origin = f"{path}[{index}]"
+        yield origin, parse_entry({"version": CACHE_VERSION, "result": row})
+
+
+def merge_into(
+    dest: str | Path, sources: list[str | Path]
+) -> MergeSummary:
+    """Merge *sources* (cache dirs and/or row dumps) into cache *dest*.
+
+    Parameters
+    ----------
+    dest : str or Path
+        Destination cache directory; created if missing.  May already
+        hold entries (e.g. an earlier shard) — they participate in
+        conflict detection like any source entry.
+    sources : list of str or Path
+        Cache directories and/or ``repro sweep --json`` dump files,
+        merged in order.
+
+    Returns
+    -------
+    MergeSummary
+        Written / identical / skipped counts.
+
+    Raises
+    ------
+    ReproError
+        If a source is missing or malformed, or if any two entries
+        claim the same config hash with different results.  All
+        conflicts are collected and reported together, and **nothing
+        is written until every source has been read and checked** — a
+        failed merge leaves the destination exactly as it was, so a
+        later report cannot silently render a first-seen winner.
+    """
+    dest_path = Path(dest)
+    if dest_path.exists() and not dest_path.is_dir():
+        raise ReproError(
+            f"merge destination {dest_path} is not a directory "
+            "(did you swap DEST with a --json dump source?)"
+        )
+    for source in sources:
+        if not Path(source).exists():
+            raise ReproError(f"merge source {source} does not exist")
+    # Don't create the destination yet: a merge that fails validation
+    # or conflict detection must leave the filesystem untouched.
+    cache = SweepCache(dest_path) if dest_path.is_dir() else None
+    origin_by_key: dict[str, str] = {}
+    chosen: dict[str, CellResult] = {}  # first-seen result per hash
+    to_write: dict[str, CellResult] = {}  # chosen minus already-in-dest
+    conflicted: set[str] = set()  # one reported conflict per contested hash
+    identical = skipped = 0
+    conflicts: list[MergeConflict] = []
+    # Pass 1 (read-only): collect and cross-check every entry.
+    for source in sources:
+        for origin, result in _iter_source(Path(source)):
+            if result is None:
+                skipped += 1
+                continue
+            key = result.key
+            if key in conflicted:
+                # Already contested; duplicate source copies must not
+                # inflate the conflict count.
+                continue
+            known = chosen.get(key)
+            if known is None:
+                existing = (
+                    cache.load(result.config) if cache is not None else None
+                )
+                if existing is not None and existing != result:
+                    conflicted.add(key)
+                    conflicts.append(MergeConflict(
+                        key=key,
+                        source=origin,
+                        existing=f"{dest_path} (pre-existing)",
+                    ))
+                    continue
+                if existing is None:
+                    to_write[key] = result
+                else:
+                    identical += 1
+                chosen[key] = result
+                origin_by_key[key] = origin
+            elif known == result:
+                identical += 1
+            else:
+                conflicted.add(key)
+                conflicts.append(MergeConflict(
+                    key=key,
+                    source=origin,
+                    existing=origin_by_key[key],
+                ))
+    if conflicts:
+        detail = "\n  ".join(str(conflict) for conflict in conflicts)
+        raise ReproError(
+            f"{len(conflicts)} merge conflict(s) — nothing was written "
+            f"to {dest_path}:\n  {detail}"
+        )
+    if not chosen:
+        # Nothing usable in any source (all-stale after a version bump,
+        # or genuinely empty dirs): exiting green here would push the
+        # failure downstream to a misleading "no loadable results".
+        raise ReproError(
+            f"nothing to merge: no usable entry in {len(sources)} "
+            f"source(s) ({skipped} stale/invalid file(s) skipped)"
+        )
+    # Pass 2: all sources agree; now create the destination and write.
+    if cache is None:
+        cache = SweepCache(dest_path)
+    for result in to_write.values():
+        cache.store(result)
+    return MergeSummary(
+        dest=str(dest_path),
+        written=len(to_write),
+        identical=identical,
+        skipped=skipped,
+        sources=tuple(str(s) for s in sources),
+    )

@@ -1,0 +1,393 @@
+"""Cache-driven reporting: render tables from a sweep cache, no sim.
+
+The result cache (:mod:`repro.exp.cache`) is the system's durable
+result store: every executed cell lives there as one verified JSON
+file.  This module turns a cache directory back into the paper's
+tables — the SW / VIM / HW totals, the SW(DP) / SW(IMU) decomposition
+and the speedup-over-software column — without re-running anything:
+
+* :func:`load_cache_rows` — read every valid entry of a cache
+  directory into :class:`~repro.exp.results.CellResult` rows, in a
+  canonical machine-independent order;
+* :func:`render_report` — group the rows along chosen config axes and
+  render one table per group, in ``md`` / ``csv`` / ``ascii``;
+* :func:`render_table` — the shared low-level table renderer (also
+  the formatting route for the benchmark reports and the CLI).
+
+Because the row order is canonical (sorted by label, then config
+hash), a report rendered from N merged shard caches is byte-identical
+to one rendered from a single unsharded run — the property the CI
+matrix asserts.  ``repro sweep --report`` is the command-line face of
+this module.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.exp.cache import iter_entries
+from repro.exp.results import CellResult
+from repro.exp.spec import CellConfig
+
+#: Output formats ``render_report`` / ``render_table`` understand
+#: (the CLI spells this ``--format {md,csv,ascii}``).
+FORMATS = ("md", "csv", "ascii")
+
+
+# ----------------------------------------------------------------------
+# Low-level table rendering (all three formats)
+# ----------------------------------------------------------------------
+
+
+def format_cell(value) -> str:
+    """Render one value: floats get 3 decimals, bools yes/no."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _check_shape(headers: list[str], rendered: list[list[str]]) -> None:
+    if not headers:
+        raise ReproError("table needs at least one column")
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """A fixed-width plain-text table with a header rule."""
+    rendered = [[format_cell(v) for v in row] for row in rows]
+    _check_shape(headers, rendered)
+    widths = [
+        max(len(headers[col]), max((len(r[col]) for r in rendered), default=0))
+        for col in range(len(headers))
+    ]
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out += [line(row) for row in rendered]
+    return "\n".join(out)
+
+
+def markdown_table(headers: list[str], rows: list[list]) -> str:
+    """A GitHub-flavoured markdown table."""
+    rendered = [[format_cell(v) for v in row] for row in rows]
+    _check_shape(headers, rendered)
+    out = ["| " + " | ".join(headers) + " |"]
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rendered:
+        out.append("| " + " | ".join(row) + " |")
+    return "\n".join(out)
+
+
+def csv_table(headers: list[str], rows: list[list]) -> str:
+    """An RFC-4180 CSV table (comma-separated, quoted where needed)."""
+    rendered = [[format_cell(v) for v in row] for row in rows]
+    _check_shape(headers, rendered)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    writer.writerows(rendered)
+    return buffer.getvalue().rstrip("\n")
+
+
+_TABLE_RENDERERS: dict[str, Callable[[list[str], list[list]], str]] = {
+    "md": markdown_table,
+    "csv": csv_table,
+    "ascii": format_table,
+}
+
+
+def render_table(headers: list[str], rows: list[list], fmt: str = "ascii") -> str:
+    """Render one table in any of :data:`FORMATS`.
+
+    Parameters
+    ----------
+    headers : list of str
+        Column headings.
+    rows : list of list
+        Cell values; formatted via :func:`format_cell`.
+    fmt : str
+        One of :data:`FORMATS`.
+
+    Raises
+    ------
+    ReproError
+        On an unknown format or a ragged row.
+    """
+    renderer = _TABLE_RENDERERS.get(fmt)
+    if renderer is None:
+        raise ReproError(f"unknown report format {fmt!r}; choices: {FORMATS}")
+    return renderer(headers, rows)
+
+
+# ----------------------------------------------------------------------
+# Report columns (the paper's decomposition)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Column:
+    """One report column: a header plus a value getter."""
+
+    header: str
+    value: Callable[[CellResult], object]
+
+
+#: Every column ``--report`` can render, keyed by its selector name.
+COLUMNS: dict[str, Column] = {
+    "cell": Column("cell", lambda r: r.label),
+    "sw_ms": Column("SW ms", lambda r: r.sw_ms),
+    "vim_ms": Column("VIM ms", lambda r: r.vim_ms),
+    "hw_ms": Column("HW ms", lambda r: r.hw_ms),
+    "sw_dp_ms": Column("SW(DP) ms", lambda r: r.sw_dp_ms),
+    "sw_imu_ms": Column("SW(IMU) ms", lambda r: r.sw_imu_ms),
+    "sw_other_ms": Column("SW(other) ms", lambda r: r.sw_other_ms),
+    "sw_imu_pct": Column(
+        "SW(IMU)/total", lambda r: f"{r.sw_imu_fraction * 100:.2f}%"
+    ),
+    "speedup": Column("speedup", lambda r: r.vim_speedup),
+    "faults": Column("faults", lambda r: r.page_faults),
+    "tlb_refills": Column("TLB refills", lambda r: r.tlb_refills),
+    "evictions": Column("evictions", lambda r: r.evictions),
+    "steals": Column("steals", lambda r: r.steals),
+    "writebacks": Column("writebacks", lambda r: r.writebacks),
+    "prefetches": Column("prefetches", lambda r: r.prefetches),
+    "dma_transfers": Column("DMA xfers", lambda r: r.dma_transfers),
+    "tlb_hit_rate": Column("TLB hit rate", lambda r: r.tlb_hit_rate),
+    "typical_ms": Column(
+        "typical ms",
+        lambda r: (
+            "exceeds memory" if not r.typical_fits
+            else r.typical_ms if r.typical_ms is not None
+            else "-"  # cell ran without with_typical
+        ),
+    ),
+}
+
+#: The default ``--report`` column set: the SW(DP)/SW(IMU) time
+#: decomposition plus the speedup-over-software column of Figures 8/9.
+DEFAULT_COLUMNS = (
+    "cell", "sw_ms", "vim_ms", "hw_ms", "sw_dp_ms", "sw_imu_ms",
+    "sw_imu_pct", "speedup", "faults",
+)
+
+
+def group_axes() -> tuple[str, ...]:
+    """Config axes a report can group along (``--group-by`` choices)."""
+    return tuple(f.name for f in fields(CellConfig))
+
+
+# ----------------------------------------------------------------------
+# Cache loading
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheRows:
+    """The readable contents of one cache directory.
+
+    Parameters
+    ----------
+    rows : tuple of CellResult
+        Every valid entry, sorted by ``(label, key)`` — a canonical
+        order independent of filesystem listing order or of which
+        machine (or shard) produced each entry.
+    skipped : int
+        Files that did not parse as current-version cache entries
+        (stale schema version, corrupt JSON, hash mismatch) and were
+        left out of the report.
+    """
+
+    rows: tuple[CellResult, ...]
+    skipped: int
+
+
+def load_cache_rows(cache_dir: str | Path) -> CacheRows:
+    """Load every valid cell result stored under *cache_dir*.
+
+    Parameters
+    ----------
+    cache_dir : str or Path
+        A sweep-cache directory (``--cache DIR`` of a previous run, or
+        the output of :func:`repro.exp.merge.merge_into`).
+
+    Returns
+    -------
+    CacheRows
+        Valid rows in canonical order plus the skipped-file count.
+
+    Raises
+    ------
+    ReproError
+        If the directory does not exist or holds no valid entry.
+    """
+    root = Path(cache_dir)
+    if not root.is_dir():
+        raise ReproError(f"cache directory {root} does not exist")
+    rows = []
+    skipped = 0
+    for _path, result in iter_entries(root):
+        if result is None:
+            skipped += 1
+        else:
+            rows.append(result)
+    if not rows:
+        raise ReproError(
+            f"no loadable cell results in {root} "
+            f"({skipped} stale/invalid file(s) skipped); "
+            "run `repro sweep --cache` first"
+        )
+    rows.sort(key=lambda r: (r.label, r.key))
+    return CacheRows(rows=tuple(rows), skipped=skipped)
+
+
+# ----------------------------------------------------------------------
+# Grouping and report rendering
+# ----------------------------------------------------------------------
+
+
+def _resolve_columns(names) -> list[tuple[str, Column]]:
+    unknown = [name for name in names if name not in COLUMNS]
+    if unknown:
+        raise ReproError(
+            f"unknown report column(s) {unknown}; choices: {sorted(COLUMNS)}"
+        )
+    return [(name, COLUMNS[name]) for name in names]
+
+
+def _group_rows(
+    rows, axes: tuple[str, ...]
+) -> list[tuple[tuple, list[CellResult]]]:
+    """Split *rows* into (raw-group-values, rows) buckets, sorted.
+
+    Groups sort by the **raw** axis values (``None`` first), so
+    numeric axes order numerically — a page-size grouping renders
+    512, 1024, 2048, not the lexicographic 1024, 2048, 512.
+    """
+    groups: dict[tuple, list[CellResult]] = {}
+    for row in rows:
+        key = tuple(getattr(row.config, axis) for axis in axes)
+        groups.setdefault(key, []).append(row)
+    return sorted(
+        groups.items(),
+        key=lambda item: tuple((v is not None, v) for v in item[0]),
+    )
+
+
+def render_report(
+    rows,
+    group_by: tuple[str, ...] = (),
+    fmt: str = "md",
+    columns=DEFAULT_COLUMNS,
+) -> str:
+    """Render *rows* as grouped tables.
+
+    Parameters
+    ----------
+    rows : iterable of CellResult
+        The rows to report (typically ``load_cache_rows(dir).rows``).
+        Rendering order is canonicalised internally, so any input
+        order produces the same bytes.
+    group_by : tuple of str
+        Config axes to group along (see :func:`group_axes`).  ``md``
+        and ``ascii`` render one headed table per group; ``csv`` stays
+        one flat table with the group axes as leading columns.
+    fmt : str
+        One of :data:`FORMATS`.
+    columns : sequence of str
+        Column selectors from :data:`COLUMNS`.
+
+    Returns
+    -------
+    str
+        The rendered report (no trailing newline).
+
+    Raises
+    ------
+    ReproError
+        On unknown format, axis, or column names.
+    """
+    if fmt not in FORMATS:
+        raise ReproError(f"unknown report format {fmt!r}; choices: {FORMATS}")
+    known_axes = group_axes()
+    bad = [axis for axis in group_by if axis not in known_axes]
+    if bad:
+        raise ReproError(
+            f"unknown group-by axis/axes {bad}; choices: {known_axes}"
+        )
+    selected = _resolve_columns(columns)
+    ordered = sorted(rows, key=lambda r: (r.label, r.key))
+    headers = [column.header for _, column in selected]
+
+    def table_rows(group) -> list[list]:
+        return [[column.value(row) for _, column in selected] for row in group]
+
+    if not group_by:
+        return render_table(headers, table_rows(ordered), fmt)
+
+    grouped = _group_rows(ordered, tuple(group_by))
+    if fmt == "csv":
+        flat = [
+            list(values) + cells
+            for values, group in grouped
+            for cells in table_rows(group)
+        ]
+        return render_table(list(group_by) + headers, flat, fmt)
+
+    sections = []
+    for values, group in grouped:
+        title = ", ".join(
+            f"{axis}={format_cell(value)}"
+            for axis, value in zip(group_by, values)
+        )
+        heading = f"### {title}" if fmt == "md" else f"== {title} =="
+        sections.append(heading + "\n\n" + render_table(headers, table_rows(group), fmt))
+    return "\n\n".join(sections)
+
+
+def report_from_cache(
+    cache_dir: str | Path,
+    group_by: tuple[str, ...] = (),
+    fmt: str = "md",
+    columns=DEFAULT_COLUMNS,
+    strict: bool = True,
+) -> str:
+    """Load *cache_dir* and render its report — the ``--report`` path.
+
+    A convenience composition of :func:`load_cache_rows` and
+    :func:`render_report`; no simulation happens.
+
+    Parameters
+    ----------
+    strict : bool
+        With the default ``True``, raise if any cache file had to be
+        skipped (stale version, corrupt, renamed) — a partial table
+        must not pass silently as the whole grid.  ``False`` renders
+        the loadable subset; the CLI does that, printing a warning.
+    """
+    loaded = load_cache_rows(cache_dir)
+    if strict and loaded.skipped:
+        raise ReproError(
+            f"{loaded.skipped} stale/invalid cache entr"
+            f"{'y' if loaded.skipped == 1 else 'ies'} in {cache_dir}; "
+            "re-run the sweep against this cache, or pass strict=False "
+            "to report the loadable subset"
+        )
+    return render_report(
+        loaded.rows,
+        group_by=group_by,
+        fmt=fmt,
+        columns=columns,
+    )

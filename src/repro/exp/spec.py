@@ -329,3 +329,67 @@ class SweepSpec:
         for axis in axes:
             size *= len(axis)
         return size
+
+    def shard(self, index: int, total: int) -> list[CellConfig]:
+        """The *index*-th of *total* deterministic grid partitions.
+
+        Parameters
+        ----------
+        index : int
+            1-based shard number (matching the CLI's ``--shard I/N``).
+        total : int
+            Number of shards the grid is split into.
+
+        Returns
+        -------
+        list of CellConfig
+            This shard's cells; see :func:`shard_cells` for the
+            partition guarantees.
+        """
+        return shard_cells(self.expand(), index, total)
+
+
+def shard_cells(
+    cells: list[CellConfig], index: int, total: int
+) -> list[CellConfig]:
+    """Select the *index*-th of *total* shards of a cell list.
+
+    The partition is computed over the **sorted config hashes** of the
+    deduplicated cell set, so it is a pure function of *which*
+    configurations the grid contains: every machine computes the same
+    split regardless of axis declaration order, expansion order, or
+    duplicate cells (duplicates share a hash and therefore a shard).
+    Shard *i* takes every *total*-th hash starting at offset *i - 1*,
+    so shard sizes differ by at most one.
+
+    Parameters
+    ----------
+    cells : list of CellConfig
+        The full grid (e.g. ``SweepSpec.expand()`` or a preset list).
+    index : int
+        1-based shard number, ``1 <= index <= total``.
+    total : int
+        Number of shards.
+
+    Returns
+    -------
+    list of CellConfig
+        The shard's unique cells, in sorted-hash order.  The union of
+        all *total* shards is exactly the deduplicated input set and
+        the shards are pairwise disjoint.
+
+    Raises
+    ------
+    ReproError
+        If *total* is not positive or *index* is out of range.
+    """
+    if total < 1:
+        raise ReproError(f"shard count must be >= 1, got {total}")
+    if not 1 <= index <= total:
+        raise ReproError(
+            f"shard index must be in 1..{total}, got {index} "
+            "(shards are numbered 1/N .. N/N)"
+        )
+    unique = {cell.key(): cell for cell in cells}
+    ordered = [unique[key] for key in sorted(unique)]
+    return ordered[index - 1::total]

@@ -18,7 +18,7 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for command in ("fig7", "fig8", "fig9", "overheads", "ablations",
-                        "portability", "run", "sweep"):
+                        "portability", "run", "sweep", "merge"):
             assert command in text
 
 
@@ -97,3 +97,187 @@ class TestSweep:
     def test_sweep_rejects_unknown_soc(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--soc", "EPXA99"])
+
+    def test_sweep_json_refuses_overwrite_without_force(self, capsys, tmp_path):
+        path = tmp_path / "rows.json"
+        path.write_text("[]", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["sweep", "--app", "vadd", "--kb", "1", "--json", str(path)])
+        assert path.read_text(encoding="utf-8") == "[]"  # untouched
+
+    def test_sweep_json_missing_parent_dir_refused_up_front(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli.exp, "run_sweep",
+            lambda *a, **k: pytest.fail("sweep ran despite doomed --json"),
+        )
+        with pytest.raises(SystemExit):
+            main(["sweep", "--app", "vadd", "--kb", "1",
+                  "--json", str(tmp_path / "missing" / "rows.json")])
+
+    def test_sweep_json_directory_target_refused_even_with_force(
+        self, tmp_path
+    ):
+        target = tmp_path / "results"
+        target.mkdir()
+        for extra in ([], ["--force"]):
+            with pytest.raises(SystemExit):
+                main(["sweep", "--app", "vadd", "--kb", "1",
+                      "--json", str(target), *extra])
+
+    def test_sweep_json_force_overwrites(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "rows.json"
+        path.write_text("[]", encoding="utf-8")
+        assert main(["sweep", "--app", "vadd", "--kb", "1",
+                     "--json", str(path), "--force"]) == 0
+        assert len(json.loads(path.read_text(encoding="utf-8"))) == 1
+
+
+class TestShardMergeReport:
+    GRID = ["--app", "vadd", "--kb", "1", "--policy", "fifo", "lru"]
+
+    def test_shard_runs_a_subset(self, capsys):
+        assert main(["sweep", *self.GRID, "--shard", "1/2"]) == 0
+        out = capsys.readouterr().out
+        assert "shard 1/2: 1 of 2 unique cells" in out
+        assert "1 cells: 1 simulated" in out
+
+    def test_shard_bad_syntax_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", *self.GRID, "--shard", "1of2"])
+
+    def test_shard_out_of_range_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", *self.GRID, "--shard", "3/2"])
+
+    def test_shard_merge_report_round_trip(self, capsys, tmp_path):
+        for index in (1, 2):
+            assert main(["sweep", *self.GRID, "--shard", f"{index}/2",
+                         "--cache", str(tmp_path / f"shard{index}")]) == 0
+        capsys.readouterr()
+        assert main(["merge", str(tmp_path / "merged"),
+                     str(tmp_path / "shard1"), str(tmp_path / "shard2")]) == 0
+        assert "2 written" in capsys.readouterr().out
+        # The merged cache serves the whole grid without simulating.
+        assert main(["sweep", *self.GRID,
+                     "--cache", str(tmp_path / "merged")]) == 0
+        assert "0 simulated, 2 from cache" in capsys.readouterr().out
+        # And --report renders from it, no simulation at all.
+        assert main(["sweep", "--report", "--cache", str(tmp_path / "merged"),
+                     "--format", "md"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("| cell |")
+        assert "vadd-1KB/lru" in out
+
+    def test_report_requires_cache(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--report"])
+
+    def test_report_warns_about_skipped_entries_on_stderr(self, capsys,
+                                                          tmp_path):
+        import json
+
+        cache = tmp_path / "cache"
+        assert main(["sweep", *self.GRID, "--cache", str(cache)]) == 0
+        entry = next(cache.glob("*.json"))
+        payload = json.loads(entry.read_text(encoding="utf-8"))
+        payload["version"] = 999  # a stale-version entry
+        entry.write_text(json.dumps(payload), encoding="utf-8")
+        capsys.readouterr()
+        assert main(["sweep", "--report", "--cache", str(cache)]) == 0
+        captured = capsys.readouterr()
+        # The warning goes to stderr; stdout stays the pure report.
+        assert "skipped 1 stale/invalid cache entry" in captured.err
+        assert "warning" not in captured.out
+        assert captured.out.startswith("| cell |")
+
+    def test_report_group_by_and_format(self, capsys, tmp_path):
+        assert main(["sweep", *self.GRID,
+                     "--cache", str(tmp_path / "cache")]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--report", "--cache", str(tmp_path / "cache"),
+                     "--group-by", "policy", "--format", "ascii"]) == 0
+        out = capsys.readouterr().out
+        assert "== policy=fifo ==" in out
+        assert "== policy=lru ==" in out
+
+    def test_report_rejects_unknown_axis(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--report", "--cache", str(tmp_path),
+                  "--group-by", "colour"])
+
+    def test_report_only_flags_rejected_without_report(self):
+        # --group-by/--format shape --report output; a sweep run that
+        # silently ignored them would mislead just like the mirror case.
+        with pytest.raises(SystemExit):
+            main(["sweep", *self.GRID, "--format", "csv"])
+        with pytest.raises(SystemExit):
+            main(["sweep", *self.GRID, "--group-by", "policy"])
+        with pytest.raises(SystemExit):  # explicit default value too
+            main(["sweep", *self.GRID, "--format", "md"])
+        with pytest.raises(SystemExit):  # --force pairs with --json only
+            main(["sweep", *self.GRID, "--force"])
+
+    def test_preset_rejects_axis_flags(self):
+        # The preset IS the grid; axis flags it would override must
+        # fail loudly instead of running a different grid.
+        with pytest.raises(SystemExit):
+            main(["sweep", "--preset", "contention", "--app", "idea"])
+        with pytest.raises(SystemExit):  # explicit default value too
+            main(["sweep", "--preset", "contention", "--app", "adpcm"])
+
+    def test_report_rejects_grid_selection_flags(self, capsys, tmp_path):
+        # Axis flags have no effect under --report; silently reporting
+        # the whole cache under an "--app adpcm" heading would mislead.
+        assert main(["sweep", *self.GRID,
+                     "--cache", str(tmp_path / "cache")]) == 0
+        with pytest.raises(SystemExit):
+            main(["sweep", "--report", "--cache", str(tmp_path / "cache"),
+                  "--app", "idea"])
+        with pytest.raises(SystemExit):
+            main(["sweep", "--report", "--cache", str(tmp_path / "cache"),
+                  "--shard", "1/2"])
+        # A grid flag explicitly spelled with its default value is just
+        # as misleading ("adpcm results") and must be caught too.
+        with pytest.raises(SystemExit):
+            main(["sweep", "--report", "--cache", str(tmp_path / "cache"),
+                  "--app", "adpcm"])
+        # And prefix abbreviations must not slip past the guard:
+        # allow_abbrev is off, so --ap is rejected by argparse itself.
+        with pytest.raises(SystemExit):
+            main(["sweep", "--report", "--cache", str(tmp_path / "cache"),
+                  "--ap", "adpcm"])
+
+    def test_json_overwrite_refused_before_simulating(self, tmp_path,
+                                                      monkeypatch):
+        # The refusal must fire *before* the sweep runs, not after.
+        import repro.cli as cli
+
+        path = tmp_path / "rows.json"
+        path.write_text("[]", encoding="utf-8")
+        monkeypatch.setattr(
+            cli.exp, "run_sweep",
+            lambda *a, **k: pytest.fail("sweep ran despite doomed --json"),
+        )
+        with pytest.raises(SystemExit):
+            main(["sweep", "--app", "vadd", "--kb", "1", "--json", str(path)])
+
+    def test_merge_conflict_exits_nonzero(self, capsys, tmp_path):
+        import json
+
+        assert main(["sweep", *self.GRID,
+                     "--cache", str(tmp_path / "a")]) == 0
+        assert main(["sweep", *self.GRID,
+                     "--cache", str(tmp_path / "b")]) == 0
+        entry = next((tmp_path / "b").glob("*.json"))
+        payload = json.loads(entry.read_text(encoding="utf-8"))
+        payload["result"]["vim_ms"] += 1.0
+        entry.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["merge", str(tmp_path / "merged"),
+                  str(tmp_path / "a"), str(tmp_path / "b")])

@@ -1,0 +1,251 @@
+"""Tests for merging shard caches (``repro.exp.merge``).
+
+The merge is what turns N per-machine shard caches back into the one
+durable result store: merged files must be byte-identical to an
+unsharded run's cache (so re-runs simulate nothing and reports
+byte-match), and two sources disagreeing about one config hash must
+fail loudly instead of silently picking a winner.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.exp import run_sweep
+from repro.exp.merge import merge_into
+from repro.exp.spec import CACHE_VERSION, SweepSpec, shard_cells
+
+#: A fast 2-cell grid (1 KB vector-add, two policies).
+GRID = SweepSpec(apps=("vadd",), input_bytes=(1024,), policies=("fifo", "lru"))
+
+
+def _files(directory) -> dict:
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(directory.glob("*.json"))
+    }
+
+
+@pytest.fixture()
+def shard_caches(tmp_path):
+    """Two shard caches plus the unsharded reference cache."""
+    cells = GRID.expand()
+    for index in (1, 2):
+        run_sweep(
+            shard_cells(cells, index, 2),
+            cache_dir=tmp_path / f"shard{index}",
+        )
+    run_sweep(GRID, cache_dir=tmp_path / "full")
+    return tmp_path
+
+
+class TestMerge:
+    def test_merged_cache_is_byte_identical_to_unsharded(self, shard_caches):
+        dest = shard_caches / "merged"
+        summary = merge_into(
+            dest, [shard_caches / "shard1", shard_caches / "shard2"]
+        )
+        assert summary.written == 2
+        assert summary.identical == 0
+        assert summary.skipped == 0
+        assert _files(dest) == _files(shard_caches / "full")
+
+    def test_rerun_against_merged_cache_simulates_nothing(self, shard_caches):
+        dest = shard_caches / "merged"
+        merge_into(dest, [shard_caches / "shard1", shard_caches / "shard2"])
+        result = run_sweep(GRID, cache_dir=dest)
+        assert result.executed == 0
+        assert result.cached == 2
+
+    def test_remerge_is_idempotent(self, shard_caches):
+        dest = shard_caches / "merged"
+        merge_into(dest, [shard_caches / "shard1", shard_caches / "shard2"])
+        again = merge_into(
+            dest, [shard_caches / "shard1", shard_caches / "shard2"]
+        )
+        assert again.written == 0
+        assert again.identical == 2
+
+    def test_duplicate_entries_across_sources_are_identical_not_conflicts(
+        self, shard_caches
+    ):
+        # Both shards plus the full cache: every entry appears twice.
+        summary = merge_into(
+            shard_caches / "merged",
+            [
+                shard_caches / "full",
+                shard_caches / "shard1",
+                shard_caches / "shard2",
+            ],
+        )
+        assert summary.written == 2
+        assert summary.identical == 2
+
+    def test_rows_json_dump_is_a_valid_source(self, shard_caches, tmp_path):
+        rows = run_sweep(GRID, cache_dir=shard_caches / "full").rows
+        dump = tmp_path / "rows.json"
+        dump.write_text(
+            json.dumps([r.to_dict() for r in rows]), encoding="utf-8"
+        )
+        dest = tmp_path / "from-dump"
+        summary = merge_into(dest, [dump])
+        assert summary.written == 2
+        assert _files(dest) == _files(shard_caches / "full")
+
+
+class TestConflicts:
+    def test_failed_merge_writes_nothing(self, shard_caches):
+        # A conflicted merge must not leave a half-merged destination:
+        # a later report over it would silently render the first-seen
+        # copy of the contested hash.
+        tampered = next((shard_caches / "shard2").glob("*.json"))
+        payload = json.loads(tampered.read_text(encoding="utf-8"))
+        payload["result"]["vim_ms"] += 1.0
+        tampered.write_text(json.dumps(payload), encoding="utf-8")
+        dest = shard_caches / "merged"
+        with pytest.raises(ReproError, match="nothing was written"):
+            merge_into(
+                dest,
+                [
+                    shard_caches / "shard1",
+                    shard_caches / "full",  # disagrees with shard2 now
+                    shard_caches / "shard2",
+                ],
+            )
+        assert not dest.exists()  # not even an empty directory appears
+
+    def test_conflicting_entry_for_same_hash_rejected(self, shard_caches):
+        # Tamper one shard entry: same config hash, different numbers.
+        tampered = next((shard_caches / "shard1").glob("*.json"))
+        payload = json.loads(tampered.read_text(encoding="utf-8"))
+        payload["result"]["vim_ms"] += 1.0
+        tampered.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(ReproError, match="conflict"):
+            merge_into(
+                shard_caches / "merged",
+                [shard_caches / "full", shard_caches / "shard1"],
+            )
+
+    def test_conflict_message_names_the_hash(self, shard_caches):
+        tampered = next((shard_caches / "shard1").glob("*.json"))
+        payload = json.loads(tampered.read_text(encoding="utf-8"))
+        payload["result"]["page_faults"] += 7
+        tampered.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(ReproError, match=tampered.stem):
+            merge_into(
+                shard_caches / "merged",
+                [shard_caches / "full", shard_caches / "shard1"],
+            )
+
+    def test_dest_conflict_reported_once_across_duplicate_sources(
+        self, shard_caches
+    ):
+        # The same diverging hash arriving from two source copies must
+        # count as ONE contested hash, not one conflict per copy.
+        dest = shard_caches / "full"
+        entry = next((shard_caches / "shard1").glob("*.json"))
+        payload = json.loads(entry.read_text(encoding="utf-8"))
+        payload["result"]["vim_ms"] += 1.0
+        entry.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(ReproError, match="1 merge conflict"):
+            merge_into(
+                dest, [shard_caches / "shard1", shard_caches / "shard1"]
+            )
+
+    def test_source_vs_source_conflict_reported_once(self, shard_caches):
+        # Same dedupe rule when the first copy came from a source
+        # rather than a pre-existing destination entry.
+        entry = next((shard_caches / "shard1").glob("*.json"))
+        payload = json.loads(entry.read_text(encoding="utf-8"))
+        payload["result"]["vim_ms"] += 1.0
+        entry.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(ReproError, match="1 merge conflict"):
+            merge_into(
+                shard_caches / "merged",
+                [
+                    shard_caches / "full",
+                    shard_caches / "shard1",
+                    shard_caches / "shard1",
+                ],
+            )
+
+    def test_conflict_with_preexisting_destination_entry(self, shard_caches):
+        # Merge into a destination that already holds a diverging row.
+        dest = shard_caches / "full"
+        tampered_src = shard_caches / "shard1"
+        entry = next(tampered_src.glob("*.json"))
+        payload = json.loads(entry.read_text(encoding="utf-8"))
+        payload["result"]["evictions"] += 1
+        entry.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(ReproError, match="pre-existing"):
+            merge_into(dest, [tampered_src])
+
+
+class TestDegradation:
+    def test_stale_version_entries_skipped(self, shard_caches):
+        stale = next((shard_caches / "shard1").glob("*.json"))
+        payload = json.loads(stale.read_text(encoding="utf-8"))
+        payload["version"] = CACHE_VERSION - 1
+        stale.write_text(json.dumps(payload), encoding="utf-8")
+        summary = merge_into(
+            shard_caches / "merged",
+            [shard_caches / "shard1", shard_caches / "shard2"],
+        )
+        assert summary.skipped == 1
+        assert summary.written == 1
+
+    def test_corrupt_entry_skipped(self, shard_caches):
+        broken = next((shard_caches / "shard2").glob("*.json"))
+        broken.write_text("{not json", encoding="utf-8")
+        summary = merge_into(
+            shard_caches / "merged",
+            [shard_caches / "shard1", shard_caches / "shard2"],
+        )
+        assert summary.skipped == 1
+
+    def test_renamed_cache_entry_skipped(self, shard_caches):
+        # Same rule as the report loader: a dir entry must be named by
+        # its config hash; a hand-renamed file is skipped, not re-keyed.
+        entry = next((shard_caches / "shard1").glob("*.json"))
+        entry.rename(entry.with_name("0000000000000000.json"))
+        summary = merge_into(
+            shard_caches / "merged",
+            [shard_caches / "shard1", shard_caches / "shard2"],
+        )
+        assert summary.skipped == 1
+        assert summary.written == 1
+
+    def test_all_sources_unusable_rejected(self, shard_caches, tmp_path):
+        # A merge that writes nothing usable (e.g. all shards predate a
+        # CACHE_VERSION bump) must fail here, not downstream at report
+        # time with a misleading "no loadable results".
+        for source in ("shard1", "shard2"):
+            for entry in (shard_caches / source).glob("*.json"):
+                payload = json.loads(entry.read_text(encoding="utf-8"))
+                payload["version"] = CACHE_VERSION - 1
+                entry.write_text(json.dumps(payload), encoding="utf-8")
+        dest = tmp_path / "dest"
+        with pytest.raises(ReproError, match="nothing to merge"):
+            merge_into(
+                dest, [shard_caches / "shard1", shard_caches / "shard2"]
+            )
+        assert not dest.exists()
+
+    def test_missing_source_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="does not exist"):
+            merge_into(tmp_path / "dest", [tmp_path / "nope"])
+
+    def test_non_list_json_file_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}", encoding="utf-8")
+        with pytest.raises(ReproError, match="row dump"):
+            merge_into(tmp_path / "dest", [bad])
+
+    def test_file_destination_rejected(self, shard_caches, tmp_path):
+        # Swapping DEST with a dump source must be a clean error, not
+        # a FileExistsError traceback from mkdir.
+        dump = tmp_path / "rows.json"
+        dump.write_text("[]", encoding="utf-8")
+        with pytest.raises(ReproError, match="not a directory"):
+            merge_into(dump, [shard_caches / "shard1"])

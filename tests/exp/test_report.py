@@ -1,0 +1,234 @@
+"""Tests for cache-driven reporting (``repro.exp.report``).
+
+Golden-output tests render the committed fixture cache
+(``tests/exp/fixtures/report_cache``, written by
+``tools/make_report_fixture.py``) and compare byte-for-byte against
+the committed golden files — if ``CACHE_VERSION`` is ever bumped, the
+fixture goes stale and these tests fail until the regeneration script
+is re-run (one command; see the tool's docstring).
+
+The end-to-end class asserts the PR's acceptance criterion: a report
+rendered from two merged shard caches is byte-identical to the report
+of a single unsharded run.
+"""
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError
+from repro.exp import run_sweep
+from repro.exp.merge import merge_into
+from repro.exp.report import (
+    FORMATS,
+    load_cache_rows,
+    render_report,
+    render_table,
+    report_from_cache,
+)
+from repro.exp.spec import CACHE_VERSION, SweepSpec, shard_cells
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _golden(name: str) -> str:
+    return (FIXTURES / name).read_text(encoding="utf-8").rstrip("\n")
+
+
+class TestGoldenOutputs:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_flat_report_matches_golden(self, fmt):
+        text = report_from_cache(FIXTURES / "report_cache", fmt=fmt)
+        assert text == _golden(f"report.{fmt}")
+
+    @pytest.mark.parametrize("fmt", ["md", "csv"])
+    def test_grouped_report_matches_golden(self, fmt):
+        text = report_from_cache(
+            FIXTURES / "report_cache", group_by=("policy",), fmt=fmt
+        )
+        assert text == _golden(f"report_by_policy.{fmt}")
+
+    def test_rendering_order_is_canonical(self):
+        rows = list(load_cache_rows(FIXTURES / "report_cache").rows)
+        shuffled = rows[:]
+        random.Random(7).shuffle(shuffled)
+        assert render_report(shuffled) == render_report(rows)
+
+
+class TestCacheLoading:
+    def test_rows_sorted_by_label_then_key(self):
+        loaded = load_cache_rows(FIXTURES / "report_cache")
+        order = [(r.label, r.key) for r in loaded.rows]
+        assert order == sorted(order)
+        assert loaded.skipped == 0
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="does not exist"):
+            load_cache_rows(tmp_path / "absent")
+
+    def test_empty_directory_rejected(self, tmp_path):
+        (tmp_path / "cache").mkdir()
+        with pytest.raises(ReproError, match="no loadable"):
+            load_cache_rows(tmp_path / "cache")
+
+    def test_stale_and_corrupt_entries_skipped(self, tmp_path):
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        for name, payload in _fixture_payloads():
+            (cache / name).write_text(json.dumps(payload), encoding="utf-8")
+        good = load_cache_rows(cache)
+        # Break one entry's version and another's JSON.
+        entries = sorted(cache.glob("*.json"))
+        stale = json.loads(entries[0].read_text(encoding="utf-8"))
+        stale["version"] = CACHE_VERSION + 1
+        entries[0].write_text(json.dumps(stale), encoding="utf-8")
+        entries[1].write_text("][", encoding="utf-8")
+        degraded = load_cache_rows(cache)
+        assert degraded.skipped == 2
+        assert len(degraded.rows) == len(good.rows) - 2
+
+    def test_strict_report_refuses_partial_cache(self, tmp_path):
+        # The library path must not render a partial cache as if it
+        # were the whole grid (the CLI passes strict=False and warns).
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        for name, payload in _fixture_payloads():
+            (cache / name).write_text(json.dumps(payload), encoding="utf-8")
+        stale = sorted(cache.glob("*.json"))[0]
+        payload = json.loads(stale.read_text(encoding="utf-8"))
+        payload["version"] = CACHE_VERSION + 1
+        stale.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(ReproError, match="stale/invalid"):
+            report_from_cache(cache)
+        assert report_from_cache(cache, strict=False)  # subset renders
+
+    def test_renamed_entry_fails_hash_check(self, tmp_path):
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        payloads = _fixture_payloads()
+        for name, payload in payloads:
+            (cache / name).write_text(json.dumps(payload), encoding="utf-8")
+        first = sorted(cache.glob("*.json"))[0]
+        first.rename(cache / "0000000000000000.json")
+        assert load_cache_rows(cache).skipped == 1
+
+
+def _fixture_payloads():
+    return [
+        (path.name, json.loads(path.read_text(encoding="utf-8")))
+        for path in sorted((FIXTURES / "report_cache").glob("*.json"))
+    ]
+
+
+def _synthetic_row(config, index=0):
+    """A hand-written CellResult (no simulation) for rendering tests."""
+    from repro.exp.results import CellResult
+
+    return CellResult(
+        config=config,
+        key=config.key(),
+        label=config.label(),
+        workload="synthetic",
+        sw_ms=10.0,
+        vim_ms=1.0 + index,
+        hw_ms=0.5,
+        sw_dp_ms=0.3,
+        sw_imu_ms=0.02,
+        sw_other_ms=0.01,
+        vim_speedup=10.0 / (1.0 + index),
+        page_faults=index,
+        compulsory_loads=1,
+        evictions=0,
+        writebacks=0,
+        prefetches=0,
+        bytes_to_dpram=1024,
+        bytes_from_dpram=1024,
+        tlb_hit_rate=1.0,
+    )
+
+
+class TestGrouping:
+    def test_numeric_axes_group_in_numeric_order(self):
+        from repro.exp.spec import CellConfig
+
+        rows = [
+            _synthetic_row(CellConfig(page_bytes=page), index)
+            for index, page in enumerate((512, 1024, 2048))
+        ]
+        text = render_report(rows, group_by=("page_bytes",), fmt="md")
+        positions = [text.index(f"page_bytes={p}") for p in (512, 1024, 2048)]
+        assert positions == sorted(positions)
+
+    def test_none_axis_values_group_first(self):
+        from repro.exp.spec import CellConfig
+
+        rows = [
+            _synthetic_row(CellConfig(page_bytes=1024), 0),
+            _synthetic_row(CellConfig(), 1),  # page_bytes=None (preset)
+        ]
+        text = render_report(rows, group_by=("page_bytes",), fmt="md")
+        assert text.index("page_bytes=None") < text.index("page_bytes=1024")
+
+    def test_typical_column_renders_dash_when_not_requested(self):
+        from repro.exp.spec import CellConfig
+
+        rows = [_synthetic_row(CellConfig())]  # typical_ms=None, fits=True
+        text = render_report(
+            rows, columns=("cell", "typical_ms"), fmt="csv"
+        )
+        assert text.splitlines()[1].endswith(",-")
+        assert "None" not in text
+
+
+class TestValidation:
+    def test_unknown_format_rejected(self):
+        rows = load_cache_rows(FIXTURES / "report_cache").rows
+        with pytest.raises(ReproError, match="format"):
+            render_report(rows, fmt="pdf")
+
+    def test_unknown_group_axis_rejected(self):
+        rows = load_cache_rows(FIXTURES / "report_cache").rows
+        with pytest.raises(ReproError, match="axis"):
+            render_report(rows, group_by=("colour",))
+
+    def test_unknown_column_rejected(self):
+        rows = load_cache_rows(FIXTURES / "report_cache").rows
+        with pytest.raises(ReproError, match="column"):
+            render_report(rows, columns=("cell", "warp_factor"))
+
+    def test_render_table_rejects_unknown_format(self):
+        with pytest.raises(ReproError, match="format"):
+            render_table(["a"], [[1]], fmt="html")
+
+    def test_csv_grouping_is_flat_with_leading_axes(self):
+        rows = load_cache_rows(FIXTURES / "report_cache").rows
+        text = render_report(rows, group_by=("policy",), fmt="csv")
+        lines = text.splitlines()
+        assert lines[0].startswith("policy,")
+        assert len(lines) == 1 + len(rows)
+
+
+class TestEndToEnd:
+    #: Fast 2-cell grid for the real-simulation acceptance check.
+    GRID = SweepSpec(
+        apps=("vadd",), input_bytes=(1024,), policies=("fifo", "lru")
+    )
+
+    def test_sharded_merge_report_byte_identical_to_unsharded(self, tmp_path):
+        cells = self.GRID.expand()
+        for index in (1, 2):
+            run_sweep(
+                shard_cells(cells, index, 2),
+                cache_dir=tmp_path / f"shard{index}",
+            )
+        run_sweep(self.GRID, cache_dir=tmp_path / "full")
+        merge_into(
+            tmp_path / "merged",
+            [tmp_path / "shard1", tmp_path / "shard2"],
+        )
+        for fmt in FORMATS:
+            merged = report_from_cache(tmp_path / "merged", fmt=fmt)
+            unsharded = report_from_cache(tmp_path / "full", fmt=fmt)
+            assert merged == unsharded, fmt

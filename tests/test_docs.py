@@ -98,3 +98,79 @@ class TestCheckerCatchesRot:
             "`--transfer\n{double,single,dma,warp}`\n", encoding="utf-8"
         )
         assert len(check_docs.check_transfer_modes(page)) == 1
+
+    def test_stale_format_list_detected(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "render with `--format {md,pdf}`\n", encoding="utf-8"
+        )
+        failures = check_docs.check_report_formats(page)
+        assert len(failures) == 1
+        assert "stale report-format list" in failures[0]
+
+    def test_current_format_list_passes(self, tmp_path):
+        from repro.exp.report import FORMATS
+
+        page = tmp_path / "page.md"
+        page.write_text(
+            f"render with `--format {{{','.join(FORMATS)}}}`\n",
+            encoding="utf-8",
+        )
+        assert check_docs.check_report_formats(page) == []
+
+    def test_undocumented_sweep_flag_detected(self, tmp_path):
+        # A page mentioning no flags at all misses every sweep option.
+        page = tmp_path / "page.md"
+        page.write_text("nothing here\n", encoding="utf-8")
+        failures = check_docs.check_sweep_flags(page)
+        assert any("--shard" in f for f in failures)
+        assert any("--report" in f for f in failures)
+        assert all("undocumented" in f for f in failures)
+
+    def test_stale_flag_mention_detected(self, tmp_path):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        page = tmp_path / "page.md"
+        page.write_text(
+            readme + "\nand the retired `--warp-drive` flag\n",
+            encoding="utf-8",
+        )
+        failures = check_docs.check_sweep_flags(page)
+        assert len(failures) == 1
+        assert "stale flag mention --warp-drive" in failures[0]
+
+    def test_mid_span_stale_flag_detected(self, tmp_path):
+        # A stale flag hiding after a valid one in the same span must
+        # not escape the scan.
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        page = tmp_path / "page.md"
+        page.write_text(
+            readme + "\nuse `--report --baseline DIR` for diffs\n",
+            encoding="utf-8",
+        )
+        failures = check_docs.check_sweep_flags(page)
+        assert any("--baseline" in f for f in failures)
+
+    def test_fenced_blocks_excluded_from_stale_mention_scan(self, tmp_path):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        page = tmp_path / "page.md"
+        page.write_text(
+            readme + "\n```sh\npytest --benchmark-only\n```\n",
+            encoding="utf-8",
+        )
+        assert check_docs.check_sweep_flags(page) == []
+
+    def test_readme_flag_lists_are_current(self):
+        assert check_docs.check_sweep_flags(REPO_ROOT / "README.md") == []
+
+    def test_docs_flag_mentions_are_current(self):
+        for doc in sorted((REPO_ROOT / "docs").glob("*.md")):
+            assert check_docs.check_flag_mentions(doc) == [], doc
+
+    def test_stale_mention_in_docs_detected(self, tmp_path):
+        # The stale-mention direction covers every doc file, not just
+        # the README.
+        page = tmp_path / "guide.md"
+        page.write_text("pass `--warp-drive` to engage\n", encoding="utf-8")
+        failures = check_docs.check_flag_mentions(page)
+        assert len(failures) == 1
+        assert "--warp-drive" in failures[0]

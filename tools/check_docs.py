@@ -15,16 +15,25 @@ Three guarantees over ``README.md`` and every ``docs/*.md``:
 2. **Intra-repo links resolve.**  Every relative markdown link target
    must exist on disk; dead links fail the job.
 3. **Axis-value lists are current.**  Every ``--transfer {...}`` list
-   must match ``repro.exp.spec.TRANSFERS`` exactly — adding a transfer
-   mode without documenting it (or documenting one that does not
-   exist) fails the job.
+   must match ``repro.exp.spec.TRANSFERS`` and every ``--format
+   {...}`` list must match ``repro.exp.report.FORMATS`` exactly —
+   adding a value without documenting it (or documenting one that
+   does not exist) fails the job.
+4. **The sweep flag list is current.**  Every ``repro sweep`` option
+   the parser defines (``--shard``, ``--report``, ``--group-by``, …)
+   must be mentioned in README.md, and every inline-code flag the
+   README mentions must exist on some ``repro`` subcommand — renaming
+   or removing a flag without updating the docs fails the job.
 
-Exit status is the number of failing checks (0 = everything passed).
+``main()`` returns the number of failing checks; the process exit
+status is 1 if anything failed, else 0 (a raw count would wrap modulo
+256 and could report success at exactly 256 failures).
 """
 
 from __future__ import annotations
 
 import doctest
+import functools
 import os
 import re
 import sys
@@ -34,7 +43,9 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.exp.spec import TRANSFERS  # noqa: E402  (repo import, after path setup)
+from repro.cli import iter_option_actions  # noqa: E402  (repo import)
+from repro.exp.report import FORMATS  # noqa: E402
+from repro.exp.spec import TRANSFERS  # noqa: E402
 
 #: Markdown files the checker covers.
 DOC_FILES = ["README.md", *sorted(
@@ -58,6 +69,17 @@ _LINK_RE = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
 #: A documented transfer-mode list: ``--transfer {double,single,...}``
 #: (possibly wrapped across a line inside a code span).
 _TRANSFER_LIST_RE = re.compile(r"--transfer[ \t]*\n?[ \t]*\{([^}]*)\}")
+#: A documented report-format list: ``--format {md,csv,ascii}``.
+_FORMAT_LIST_RE = re.compile(r"--format[ \t]*\n?[ \t]*\{([^}]*)\}")
+#: An inline-code span (fenced blocks are stripped before scanning).
+_CODE_SPAN_RE = re.compile(r"`([^`]+)`")
+#: A ``--flag`` token anywhere inside a span.
+_FLAG_TOKEN_RE = re.compile(r"--[a-z][a-z0-9-]*")
+#: Flags the docs may legitimately mention inline although no repro
+#: subcommand defines them: third-party tools' options and the docs'
+#: own ``--flag`` placeholder spelling.  Extend this when documenting
+#: another tool's option in prose.
+FOREIGN_FLAGS = frozenset({"--benchmark-only", "--benchmark-json", "--flag"})
 
 
 def _rel(path: Path) -> str:
@@ -133,24 +155,105 @@ def check_links(path: Path) -> list[str]:
     return failures
 
 
-def check_transfer_modes(path: Path) -> list[str]:
-    """Fail any stale ``--transfer {...}`` list in one file.
+def _check_value_list(
+    path: Path, pattern: re.Pattern, expected, label: str
+) -> list[str]:
+    """Fail any documented ``--flag {...}`` list that drifted.
 
-    The documented set must equal :data:`repro.exp.spec.TRANSFERS` —
-    a new axis value must land in the docs in the same commit, and a
-    value the engine does not know must never be advertised.
+    Every match of *pattern* (group 1 = the comma-separated values)
+    must equal *expected* exactly — a new value must land in the docs
+    in the same commit, and a value the engine does not know must
+    never be advertised.
     """
     failures = []
     text = path.read_text(encoding="utf-8")
-    for match in _TRANSFER_LIST_RE.finditer(text):
+    for match in pattern.finditer(text):
         listed = {v.strip() for v in match.group(1).split(",") if v.strip()}
-        if listed != set(TRANSFERS):
+        if listed != set(expected):
             line = text.count("\n", 0, match.start()) + 1
             failures.append(
-                f"{_rel(path)}:{line}: stale transfer-mode list "
-                f"{sorted(listed)} != {sorted(TRANSFERS)}"
+                f"{_rel(path)}:{line}: stale {label} list "
+                f"{sorted(listed)} != {sorted(expected)}"
             )
     return failures
+
+
+def check_transfer_modes(path: Path) -> list[str]:
+    """Stale ``--transfer {...}`` lists vs :data:`repro.exp.spec.TRANSFERS`."""
+    return _check_value_list(
+        path, _TRANSFER_LIST_RE, TRANSFERS, "transfer-mode"
+    )
+
+
+def check_report_formats(path: Path) -> list[str]:
+    """Stale ``--format {...}`` lists vs :data:`repro.exp.report.FORMATS`."""
+    return _check_value_list(
+        path, _FORMAT_LIST_RE, FORMATS, "report-format"
+    )
+
+
+@functools.lru_cache(maxsize=1)
+def _parser_options() -> tuple[frozenset[str], frozenset[str]]:
+    """All long options of the ``repro`` CLI, and the ``sweep`` subset.
+
+    Cached: the walk rebuilds the whole parser, and the flag checks
+    run once per scanned doc file.
+    """
+    every: set[str] = set()
+    sweep: set[str] = set()
+    for command, action in iter_option_actions():
+        longs = {o for o in action.option_strings if o.startswith("--")}
+        every |= longs
+        if command == "sweep":
+            sweep |= longs
+    every.discard("--help")
+    sweep.discard("--help")
+    return frozenset(every), frozenset(sweep)
+
+
+def check_flag_mentions(path: Path) -> list[str]:
+    """Fail stale ``--flag`` mentions in one file's inline-code spans.
+
+    Every ``--flag`` token inside an inline-code span must exist on
+    some ``repro`` subcommand (or be allowlisted in
+    :data:`FOREIGN_FLAGS`), so removing or renaming a flag cannot
+    leave a stale mention behind anywhere in the docs.  Fenced code
+    blocks are excluded (they may drive other tools, e.g. pytest).
+    """
+    failures = []
+    text = path.read_text(encoding="utf-8")
+    every, _sweep = _parser_options()
+    prose = _FENCE_RE.sub("", text)
+    for span in _CODE_SPAN_RE.finditer(prose):
+        for flag in _FLAG_TOKEN_RE.findall(span.group(1)):
+            if flag not in every and flag not in FOREIGN_FLAGS:
+                failures.append(
+                    f"{_rel(path)}: stale flag mention {flag} "
+                    "(no repro subcommand defines it; add it to "
+                    "FOREIGN_FLAGS if it belongs to another tool)"
+                )
+    return failures
+
+
+def check_sweep_flags(path: Path) -> list[str]:
+    """Keep the README's sweep flag list in lockstep with the parser.
+
+    Two directions: every ``repro sweep`` option must be mentioned in
+    the file (tokenized, not substring: a mention of ``--shard-size``
+    would not satisfy ``--shard``; fenced examples count — a worked
+    sh example documents a flag), plus the per-file stale-mention
+    scan of :func:`check_flag_mentions`.
+    """
+    failures = []
+    text = path.read_text(encoding="utf-8")
+    _every, sweep = _parser_options()
+    documented = set(_FLAG_TOKEN_RE.findall(text))
+    for flag in sorted(sweep):
+        if flag not in documented:
+            failures.append(
+                f"{_rel(path)}: sweep flag {flag} is undocumented"
+            )
+    return failures + check_flag_mentions(path)
 
 
 def main() -> int:
@@ -165,8 +268,15 @@ def main() -> int:
         failures += check_code_blocks(path)
         failures += check_links(path)
         failures += check_transfer_modes(path)
+        failures += check_report_formats(path)
+        if name != "README.md":
+            # README gets the full two-direction check below; other
+            # docs get the stale-mention direction only.
+            failures += check_flag_mentions(path)
+    failures += check_sweep_flags(REPO_ROOT / "README.md")
     for name in AXIS_LIST_FILES:
         failures += check_transfer_modes(REPO_ROOT / name)
+        failures += check_report_formats(REPO_ROOT / name)
     for failure in failures:
         print(f"FAIL {failure}")
     print(
@@ -177,4 +287,4 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(1 if main() else 0)

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Regenerate the committed report-fixture cache and golden outputs.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/make_report_fixture.py
+
+The report golden tests (``tests/exp/test_report.py``) render tables
+from a **committed** cache directory so the expected bytes live in git
+and never depend on simulation timing.  The fixture rows are synthetic
+— deterministic hand-written numbers, no simulation — but they are
+stored through the real :class:`~repro.exp.cache.SweepCache`, so their
+file names embed :data:`~repro.exp.spec.CACHE_VERSION` via the config
+hash.
+
+Consequently, **whenever ``CACHE_VERSION`` is bumped** (or a
+``CellConfig``/``CellResult`` field changes), the committed fixture
+goes stale and the golden tests fail with "no loadable cell results".
+The fix is one command: re-run this script and commit the refreshed
+``tests/exp/fixtures/`` tree alongside the bump.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.exp.cache import SweepCache  # noqa: E402
+from repro.exp.report import render_report  # noqa: E402
+from repro.exp.results import CellResult  # noqa: E402
+from repro.exp.spec import CellConfig  # noqa: E402
+
+FIXTURE_DIR = REPO_ROOT / "tests" / "exp" / "fixtures"
+CACHE_DIR = FIXTURE_DIR / "report_cache"
+
+#: The fixture grid: 2 apps x 2 policies at 4 KB.
+GRID = [
+    CellConfig(app=app, input_bytes=4 * 1024, policy=policy)
+    for app in ("adpcm", "idea")
+    for policy in ("fifo", "lru")
+]
+
+#: Golden renderings the tests compare byte-for-byte.
+GOLDENS = {
+    "report.md": {"fmt": "md", "group_by": ()},
+    "report.csv": {"fmt": "csv", "group_by": ()},
+    "report.ascii": {"fmt": "ascii", "group_by": ()},
+    "report_by_policy.md": {"fmt": "md", "group_by": ("policy",)},
+    "report_by_policy.csv": {"fmt": "csv", "group_by": ("policy",)},
+}
+
+
+def synthetic_result(config: CellConfig, index: int) -> CellResult:
+    """A deterministic hand-written row for one fixture config."""
+    base = 1.0 + index * 0.25
+    hw = base * 0.5
+    sw_dp = base * 0.3
+    sw_imu = base * 0.02
+    sw_other = base * 0.01
+    vim = hw + sw_dp + sw_imu + sw_other
+    sw = base * 10.0
+    return CellResult(
+        config=config,
+        key=config.key(),
+        label=config.label(),
+        workload=f"{config.app}-fixture",
+        sw_ms=sw,
+        vim_ms=vim,
+        hw_ms=hw,
+        sw_dp_ms=sw_dp,
+        sw_imu_ms=sw_imu,
+        sw_other_ms=sw_other,
+        vim_speedup=sw / vim,
+        page_faults=3 * index,
+        compulsory_loads=2,
+        evictions=index,
+        writebacks=index // 2,
+        prefetches=0,
+        bytes_to_dpram=4096 * (index + 1),
+        bytes_from_dpram=4096,
+        tlb_hit_rate=0.9,
+    )
+
+
+def main() -> int:
+    if CACHE_DIR.exists():
+        shutil.rmtree(CACHE_DIR)
+    cache = SweepCache(CACHE_DIR)
+    rows = [
+        synthetic_result(config, index)
+        for index, config in enumerate(
+            sorted(GRID, key=lambda c: (c.app, c.policy))
+        )
+    ]
+    for row in rows:
+        cache.store(row)
+    for name, options in GOLDENS.items():
+        text = render_report(
+            rows, group_by=options["group_by"], fmt=options["fmt"]
+        )
+        (FIXTURE_DIR / name).write_text(text + "\n", encoding="utf-8")
+    print(
+        f"wrote {len(rows)} cache entries and {len(GOLDENS)} golden "
+        f"file(s) under {FIXTURE_DIR.relative_to(REPO_ROOT)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
