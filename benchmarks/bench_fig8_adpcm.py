@@ -7,9 +7,8 @@ coprocessor (stacked into HW, SW(DP), SW(IMU)); speedups annotated
 
 from conftest import emit
 
-from repro.analysis.charts import stacked_bar_chart
 from repro.exp import figure8
-from repro.exp.report import render_table
+from repro.exp.report import render_table, stacked_bar_chart
 
 
 def test_fig8_adpcm_sw_vs_vim(benchmark):

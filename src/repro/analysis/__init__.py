@@ -1,6 +1,8 @@
-"""Analysis layer: experiment drivers, tables, ASCII charts."""
+"""Analysis layer (compat shims): drivers, tables and charts all
+live in :mod:`repro.exp` now; these historical import paths keep
+working."""
 
-from repro.analysis.charts import bar_chart, stacked_bar_chart
+from repro.analysis.charts import bar_chart, delta_bar_chart, stacked_bar_chart
 from repro.analysis.experiments import (
     AblationRow,
     AppRow,
@@ -35,6 +37,7 @@ __all__ = [
     "ablation_tlb_capacity",
     "ablation_transfers",
     "bar_chart",
+    "delta_bar_chart",
     "figure7",
     "figure8",
     "figure9",

@@ -1,70 +1,23 @@
-"""ASCII charts approximating the paper's figures in a terminal.
+"""ASCII charts (compat shim over :mod:`repro.exp.report`).
 
-Figures 8 and 9 are grouped/stacked bar charts of execution time; the
-functions here render the same data as horizontal ASCII bars so a
-benchmark run ends with something visually comparable to the paper.
+The chart renderers grew into the cache-driven reporting subsystem —
+`repro.exp.report` owns them now (alongside the table formatters and
+the ``repro sweep --report`` / ``repro diff`` machinery, which renders
+regression deltas through :func:`~repro.exp.report.delta_bar_chart`).
+This module keeps the historical import path working, exactly like
+``analysis/tables.py`` and ``analysis/experiments.py`` do.
 """
 
 from __future__ import annotations
 
-from repro.errors import ReproError
+from repro.exp.report import (  # noqa: F401  (re-exported compat names)
+    bar_chart,
+    delta_bar_chart,
+    stacked_bar_chart,
+)
 
-#: Glyphs used for stacked bar segments, in component order.
-_SEGMENT_GLYPHS = ("█", "▓", "▒", "░")
-
-
-def bar_chart(
-    rows: list[tuple[str, float]],
-    width: int = 50,
-    unit: str = "ms",
-) -> str:
-    """Horizontal bars, one per (label, value) row."""
-    if width < 8:
-        raise ReproError("chart width must be at least 8 columns")
-    if not rows:
-        return "(no data)"
-    peak = max(value for _, value in rows)
-    if peak <= 0:
-        peak = 1.0
-    label_width = max(len(label) for label, _ in rows)
-    lines = []
-    for label, value in rows:
-        bar = "█" * max(1, round(value / peak * width)) if value > 0 else ""
-        lines.append(f"{label.ljust(label_width)} |{bar} {value:.3f}{unit}")
-    return "\n".join(lines)
-
-
-def stacked_bar_chart(
-    rows: list[tuple[str, dict[str, float]]],
-    width: int = 50,
-    unit: str = "ms",
-) -> str:
-    """Horizontal stacked bars (the paper's HW / SW(DP) / SW(IMU) stack).
-
-    Component order follows the dict insertion order of the first row;
-    a legend line maps glyphs to component names.
-    """
-    if not rows:
-        return "(no data)"
-    components = list(rows[0][1])
-    if len(components) > len(_SEGMENT_GLYPHS):
-        raise ReproError(
-            f"at most {len(_SEGMENT_GLYPHS)} stacked components supported"
-        )
-    peak = max(sum(parts.values()) for _, parts in rows) or 1.0
-    label_width = max(len(label) for label, _ in rows)
-    glyph_of = dict(zip(components, _SEGMENT_GLYPHS))
-    lines = [
-        "legend: "
-        + "  ".join(f"{glyph_of[name]}={name}" for name in components)
-    ]
-    for label, parts in rows:
-        segments = []
-        for name in components:
-            value = parts.get(name, 0.0)
-            segments.append(glyph_of[name] * round(value / peak * width))
-        total = sum(parts.values())
-        lines.append(
-            f"{label.ljust(label_width)} |{''.join(segments)} {total:.3f}{unit}"
-        )
-    return "\n".join(lines)
+__all__ = [
+    "bar_chart",
+    "delta_bar_chart",
+    "stacked_bar_chart",
+]

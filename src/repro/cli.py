@@ -16,6 +16,10 @@ Usage::
     python -m repro merge merged shard1 shard2   # recombine shards
     python -m repro sweep --report --cache merged \\
         --group-by policy --format md    # tables from cache, no sim
+    python -m repro sweep --report --cache merged \\
+        --baseline main-cache            # every cell annotated vs main
+    python -m repro diff main-cache merged   # regression table; exit 1
+                                             # on regressions
 
 The heavy lifting lives in :mod:`repro.exp`; the CLI is a formatting
 shell around it, so everything printed here is also unit-tested.
@@ -31,13 +35,13 @@ import sys
 from pathlib import Path
 from typing import Callable
 
-from repro.analysis.charts import stacked_bar_chart
 from repro.core.drivers import adpcm_workload, idea_workload, vector_add_workload
 from repro.core.runner import run_software, run_typical, run_vim
 from repro.core.soc import PRESETS
 from repro.core.system import System
 from repro.errors import CapacityError, ReproError
 from repro import exp
+from repro.exp.diff import DEFAULT_METRICS, METRICS, diff_caches, render_diff
 from repro.exp.merge import merge_into
 from repro.exp.report import (
     FORMATS,
@@ -45,6 +49,7 @@ from repro.exp.report import (
     group_axes,
     load_cache_rows,
     render_report,
+    stacked_bar_chart,
 )
 from repro.exp.spec import (
     APPS,
@@ -165,7 +170,7 @@ _SWEEP_PRESETS: dict[str, list] = {
 #: sweep flag selects or runs a grid and is meaningless under
 #: ``--report`` (the stray-flag guard derives that set from the
 #: parser, so new axis flags are covered automatically).
-_REPORT_FLAGS = frozenset({"cache", "report", "group_by", "format"})
+_REPORT_FLAGS = frozenset({"cache", "report", "group_by", "format", "baseline"})
 
 
 def iter_option_actions():
@@ -236,6 +241,35 @@ def _explicit_flags(args: argparse.Namespace, allowed: frozenset) -> list[str]:
     return sorted(found)
 
 
+def spec_from_args(args: argparse.Namespace):
+    """The grid a parsed ``sweep`` namespace describes.
+
+    Returns the preset's cell list when ``--preset`` was given, else
+    the :class:`~repro.exp.spec.SweepSpec` the axis flags define.  The
+    one translation from parsed flags to a grid — shared by the sweep
+    runner and ``tools/grid_key.py`` (which fingerprints a grid for
+    the CI baseline-cache key without running it).
+    """
+    if args.preset:
+        return _SWEEP_PRESETS[args.preset]
+    return SweepSpec(
+        apps=tuple(args.app),
+        input_bytes=tuple(kb * 1024 for kb in args.kb),
+        seeds=tuple(args.seed),
+        socs=tuple(args.soc),
+        page_bytes=tuple(args.page) if args.page else (None,),
+        policies=tuple(args.policy),
+        transfers=tuple(args.transfer),
+        prefetches=tuple(args.prefetch),
+        tlb_capacities=tuple(args.tlb) if args.tlb else (None,),
+        pipelined=(False, True) if args.pipelined_too else (False,),
+        tenants=tuple(args.tenants),
+        tenant_mixes=tuple(args.tenant_mix),
+        tenant_repeats=tuple(args.tenant_repeats),
+        with_typical=args.typical,
+    )
+
+
 def _print_report(args: argparse.Namespace) -> None:
     """``sweep --report``: render tables from a cache, simulate nothing."""
     if args.cache is None:
@@ -264,10 +298,24 @@ def _print_report(args: argparse.Namespace) -> None:
             f"{args.cache} (not in this report)",
             file=sys.stderr,
         )
+    baseline = None
+    if args.baseline is not None:
+        # allow_empty: an all-stale baseline (CACHE_VERSION bump) has
+        # nothing to compare against — annotate everything (new), do
+        # not fail the report it decorates.
+        baseline = load_cache_rows(args.baseline, allow_empty=True).rows
+        if not baseline:
+            print(
+                f"warning: baseline {args.baseline} holds no loadable "
+                "entries (different CACHE_VERSION?); every cell will "
+                "render as (new)",
+                file=sys.stderr,
+            )
     print(render_report(
         loaded.rows,
         group_by=tuple(args.group_by or ()),
         fmt=args.format,
+        baseline=baseline,
     ))
 
 
@@ -279,16 +327,18 @@ def _print_sweep(args: argparse.Namespace) -> None:
     if (
         args.group_by is not None
         or args.format != "md"
+        or args.baseline is not None
         or _option_in_argv(argv, "--group-by")
         or _option_in_argv(argv, "--format")
+        or _option_in_argv(argv, "--baseline")
     ):
         # The mirror of the stray-flag guard in _print_report: these
         # flags only shape --report output, so a sweep that ignored
         # them would silently not do what the user asked.
         raise ReproError(
-            "--group-by/--format shape the --report output and have no "
-            "effect on a sweep run; add --report (with --cache DIR) to "
-            "render from a cache"
+            "--group-by/--format/--baseline shape the --report output "
+            "and have no effect on a sweep run; add --report (with "
+            "--cache DIR) to render from a cache"
         )
     if args.preset:
         ignored = _explicit_flags(args, _PRESET_FLAGS)
@@ -301,24 +351,7 @@ def _print_sweep(args: argparse.Namespace) -> None:
                 f"flag(s) {', '.join(ignored)} would be ignored — drop "
                 "them or drop --preset"
             )
-        spec = _SWEEP_PRESETS[args.preset]
-    else:
-        spec = SweepSpec(
-            apps=tuple(args.app),
-            input_bytes=tuple(kb * 1024 for kb in args.kb),
-            seeds=tuple(args.seed),
-            socs=tuple(args.soc),
-            page_bytes=tuple(args.page) if args.page else (None,),
-            policies=tuple(args.policy),
-            transfers=tuple(args.transfer),
-            prefetches=tuple(args.prefetch),
-            tlb_capacities=tuple(args.tlb) if args.tlb else (None,),
-            pipelined=(False, True) if args.pipelined_too else (False,),
-            tenants=tuple(args.tenants),
-            tenant_mixes=tuple(args.tenant_mix),
-            tenant_repeats=tuple(args.tenant_repeats),
-            with_typical=args.typical,
-        )
+    spec = spec_from_args(args)
     if args.force and not args.json:
         # Same contract as the other no-effect-flag guards: a silently
         # ignored --force would misstate what protection the user has.
@@ -384,6 +417,24 @@ def _print_sweep(args: argparse.Namespace) -> None:
 
 def _print_merge(args: argparse.Namespace) -> None:
     print(merge_into(args.dest, args.sources))
+
+
+def _print_diff(args: argparse.Namespace) -> int:
+    """``repro diff``: regression table between two runs, no simulation.
+
+    Exit code 1 when any metric regressed beyond tolerance — the CI
+    gate — and 0 otherwise (including the no-comparable-cells case a
+    ``CACHE_VERSION`` bump produces: incomparable is not a regression).
+    """
+    result = diff_caches(
+        args.baseline,
+        args.current,
+        metrics=tuple(args.metric) if args.metric else DEFAULT_METRICS,
+        rtol=args.rtol,
+        atol=args.atol,
+    )
+    print(render_diff(result, fmt=args.format))
+    return 1 if result.has_regressions else 0
 
 
 def _shard_arg(text: str) -> tuple[int, int]:
@@ -525,6 +576,9 @@ def build_parser() -> argparse.ArgumentParser:
                             f"(choices: {', '.join(group_axes())})")
     sweep.add_argument("--format", default="md", choices=FORMATS,
                        help="--report output format (default: md)")
+    sweep.add_argument("--baseline", default=None, metavar="DIR",
+                       help="annotate every numeric --report cell with its "
+                            "delta vs this second cache (PR-vs-main reports)")
     sweep.set_defaults(func=_print_sweep)
 
     merge = sub.add_parser(
@@ -535,18 +589,46 @@ def build_parser() -> argparse.ArgumentParser:
     merge.add_argument("sources", metavar="SOURCE", nargs="+",
                        help="cache directories and/or `sweep --json` dumps")
     merge.set_defaults(func=_print_merge)
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two caches / row dumps (regression table; "
+             "exit 1 on regressions beyond tolerance)",
+        allow_abbrev=False,
+    )
+    diff.add_argument("baseline", metavar="BASELINE",
+                      help="baseline cache directory or `sweep --json` dump")
+    diff.add_argument("current", metavar="CURRENT",
+                      help="current cache directory or `sweep --json` dump")
+    diff.add_argument("--rtol", type=float, default=0.0,
+                      help="relative tolerance: |Δ| <= atol + rtol*|base| "
+                           "is not a change (default: exact)")
+    diff.add_argument("--atol", type=float, default=0.0,
+                      help="absolute tolerance (default: exact)")
+    diff.add_argument("--metric", nargs="+", default=None,
+                      choices=sorted(METRICS), metavar="NAME",
+                      help="metric columns to compare "
+                           f"(default: {' '.join(DEFAULT_METRICS)}; "
+                           f"choices: {', '.join(sorted(METRICS))})")
+    diff.add_argument("--format", default="ascii", choices=FORMATS,
+                      help="table format (default: ascii; CI uses md)")
+    diff.set_defaults(func=_print_diff)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Subcommand handlers may return an int (``repro diff`` returns 1 on
+    regressions beyond tolerance); ``None`` means success.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     # Keep the raw tokens: the --report stray-flag guard needs to see
     # flags that were explicitly spelled with their default values.
     args.argv = list(argv) if argv is not None else sys.argv[1:]
     try:
-        args.func(args)
+        return args.func(args) or 0
     except ReproError as error:
         parser.exit(2, f"error: {error}\n")
     return 0

@@ -20,6 +20,8 @@ simulation.  This package makes that structure first-class:
   one cache directory, with conflict detection;
 * :mod:`~repro.exp.report` — render the paper's tables straight from
   a cache directory, no re-simulation (``repro sweep --report``);
+* :mod:`~repro.exp.diff` — compare two caches into a typed regression
+  table with tolerance-gated exit semantics (``repro diff``);
 * :mod:`~repro.exp.api` — the paper's figure/ablation drivers as thin
   sweeps over this engine.
 
@@ -49,16 +51,34 @@ from repro.exp.api import (
 )
 from repro.exp.cache import SweepCache
 from repro.exp.cell import build_tenant_workloads, run_cell
+from repro.exp.diff import (
+    DiffResult,
+    MetricDelta,
+    diff_caches,
+    diff_rows,
+    load_side,
+    render_diff,
+    scalar_delta,
+)
 from repro.exp.merge import MergeConflict, MergeSummary, merge_into
 from repro.exp.report import (
     FORMATS,
+    bar_chart,
+    delta_bar_chart,
     load_cache_rows,
     render_report,
     render_table,
     report_from_cache,
+    stacked_bar_chart,
 )
 from repro.exp.results import CellResult
-from repro.exp.spec import CellConfig, SweepSpec, config_hash, shard_cells
+from repro.exp.spec import (
+    CellConfig,
+    SweepSpec,
+    config_hash,
+    grid_fingerprint,
+    shard_cells,
+)
 from repro.exp.sweep import SweepResult, run_sweep
 
 __all__ = [
@@ -66,10 +86,12 @@ __all__ = [
     "AppRow",
     "CellConfig",
     "CellResult",
+    "DiffResult",
     "FORMATS",
     "Figure7Result",
     "MergeConflict",
     "MergeSummary",
+    "MetricDelta",
     "PortabilityRow",
     "SweepCache",
     "SweepResult",
@@ -81,21 +103,30 @@ __all__ = [
     "ablation_prefetch",
     "ablation_tlb_capacity",
     "ablation_transfers",
+    "bar_chart",
     "build_tenant_workloads",
     "config_hash",
     "contention",
+    "delta_bar_chart",
+    "diff_caches",
+    "diff_rows",
     "figure7",
     "figure8",
     "figure9",
+    "grid_fingerprint",
     "imu_overhead_rows",
     "load_cache_rows",
+    "load_side",
     "merge_into",
     "portability",
+    "render_diff",
     "render_report",
     "render_table",
     "report_from_cache",
     "run_cell",
     "run_sweep",
+    "scalar_delta",
     "shard_cells",
+    "stacked_bar_chart",
     "translation_overhead",
 ]

@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.errors import ReproError
 from repro.exp.results import CellResult
 from repro.exp.spec import CACHE_VERSION, CellConfig
 
@@ -49,25 +50,86 @@ def parse_entry(payload) -> CellResult | None:
     return result
 
 
-def iter_entries(root: str | Path):
-    """Yield ``(path, CellResult | None)`` for every entry under *root*.
+#: Entry statuses :func:`iter_classified` distinguishes: a loadable
+#: row, a structurally sound entry written under a *different*
+#: :data:`~repro.exp.spec.CACHE_VERSION`, or anything else (corrupt
+#: JSON, failed round-trip, hand-renamed file).
+ENTRY_STATUSES = ("ok", "stale-version", "invalid")
+
+
+def iter_classified(root: str | Path):
+    """Yield ``(path, status, CellResult | None)`` for entries of *root*.
 
     The one shared directory walk for cache consumers (the shard
-    merger, the report loader): entries are visited in sorted filename
-    order, each payload goes through :func:`parse_entry`, and a file
-    whose name does not match its own config hash yields ``None`` —
-    a hand-renamed entry is skipped, never re-keyed.
+    merger, the report loader, the cross-run differ): entries are
+    visited in sorted filename order and each payload goes through
+    :func:`parse_entry`.  *status* is one of :data:`ENTRY_STATUSES`;
+    the result is non-``None`` only for ``"ok"``.  A version mismatch
+    is classified ``"stale-version"`` (the differ reports those
+    distinctly — they usually mean a ``CACHE_VERSION`` bump, not
+    corruption); a file whose name does not match its own config hash
+    is ``"invalid"`` — a hand-renamed entry is skipped, never re-keyed.
     """
     for path in sorted(Path(root).glob("*.json")):
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
-            yield path, None
+            yield path, "invalid", None
             continue
         result = parse_entry(payload)
         if result is not None and result.key != path.stem:
             result = None
+        if result is not None:
+            yield path, "ok", result
+        elif (
+            isinstance(payload, dict)
+            and "version" in payload
+            and payload.get("version") != CACHE_VERSION
+        ):
+            yield path, "stale-version", None
+        else:
+            yield path, "invalid", None
+
+
+def iter_entries(root: str | Path):
+    """Yield ``(path, CellResult | None)`` for every entry under *root*.
+
+    The status-blind face of :func:`iter_classified`, for consumers
+    that only distinguish loadable from not (the merger skips both
+    stale and corrupt files the same way).
+    """
+    for path, _status, result in iter_classified(root):
         yield path, result
+
+
+def iter_dump_rows(path: str | Path):
+    """Yield ``(origin, CellResult | None)`` for a ``--json`` row dump.
+
+    The one reader of ``repro sweep --json`` dump files, shared by the
+    shard merger and the cross-run differ so they cannot drift in what
+    they accept: the file must be a JSON list of bare result rows,
+    each adopted under the current :data:`~repro.exp.spec.CACHE_VERSION`
+    and verified through :func:`parse_entry` (an unparsable row yields
+    ``None``).  *origin* is ``"<path>[<index>]"`` for messages.
+
+    Raises
+    ------
+    ReproError
+        If the file is unreadable or not a JSON list.
+    """
+    path = Path(path)
+    try:
+        rows = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        raise ReproError(f"unreadable row dump {path}: {error}")
+    if not isinstance(rows, list):
+        raise ReproError(
+            f"{path} is not a cache directory or a "
+            "`repro sweep --json` row dump"
+        )
+    for index, row in enumerate(rows):
+        origin = f"{path}[{index}]"
+        yield origin, parse_entry({"version": CACHE_VERSION, "result": row})
 
 
 class SweepCache:

@@ -1,0 +1,575 @@
+"""Cross-run diffing: two caches in, one regression table out.
+
+The paper's core claims are deltas, and so are a CI reviewer's
+questions: did this PR make ``vim_ms`` worse, did the fault count
+move, did a cell disappear?  This module compares two result stores —
+sweep-cache directories or ``repro sweep --json`` row dumps — by
+aligning rows on their config hash and classifying every metric of
+every matched cell against a configurable tolerance:
+
+* :func:`load_side` — read one side through the
+  :mod:`repro.exp.cache` gatekeeper, keeping distinct counts for
+  stale-``CACHE_VERSION`` files (usually a deliberate schema bump,
+  reported separately) and invalid ones (corruption);
+* :func:`diff_rows` / :func:`diff_caches` — produce a typed
+  :class:`DiffResult`: per-cell :class:`MetricDelta` columns (absolute
+  + relative), plus added / removed cells;
+* :func:`render_diff` — the regression table (through
+  :func:`~repro.exp.report.render_table`) with ASCII delta bars for
+  the changed cells.
+
+Tolerance follows the ``numpy.isclose`` shape — a delta is *changed*
+when ``|current - base| > atol + rtol * |base|`` — and every metric
+knows its bad direction, so an improvement is a change but never a
+*regression*.  ``repro diff BASELINE CURRENT`` is the command-line
+face (exit 1 on regressions beyond tolerance, 0 otherwise); CI runs
+it between a PR's merged shard cache and the main-branch baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.exp.cache import iter_classified, iter_dump_rows
+from repro.exp.report import (
+    delta_bar_chart,
+    format_cell,
+    format_delta,
+    render_table,
+)
+from repro.exp.results import CellResult
+from repro.exp.spec import CACHE_VERSION, grid_fingerprint
+
+
+# ----------------------------------------------------------------------
+# Metrics: what gets compared, and which direction is "worse"
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One diffable result column.
+
+    Parameters
+    ----------
+    name : str
+        Selector and table header.
+    value : callable
+        Extracts the numeric value from a
+        :class:`~repro.exp.results.CellResult`.
+    higher_is_worse : bool or None
+        Regression direction: ``True`` for times and fault counts,
+        ``False`` for speedups and hit rates, ``None`` for counters
+        with no inherent direction (tracked as *changed*, never as a
+        regression).
+    """
+
+    name: str
+    value: Callable[[CellResult], float]
+    higher_is_worse: bool | None = True
+
+
+#: Every metric ``repro diff`` can compare, keyed by selector name.
+METRICS: dict[str, Metric] = {
+    "sw_ms": Metric("sw_ms", lambda r: r.sw_ms),
+    "vim_ms": Metric("vim_ms", lambda r: r.vim_ms),
+    "hw_ms": Metric("hw_ms", lambda r: r.hw_ms),
+    "sw_dp_ms": Metric("sw_dp_ms", lambda r: r.sw_dp_ms),
+    "sw_imu_ms": Metric("sw_imu_ms", lambda r: r.sw_imu_ms),
+    "sw_other_ms": Metric("sw_other_ms", lambda r: r.sw_other_ms),
+    "speedup": Metric("speedup", lambda r: r.vim_speedup, higher_is_worse=False),
+    "faults": Metric("faults", lambda r: r.page_faults),
+    "tlb_refills": Metric("tlb_refills", lambda r: r.tlb_refills),
+    "evictions": Metric("evictions", lambda r: r.evictions),
+    "steals": Metric("steals", lambda r: r.steals),
+    "writebacks": Metric("writebacks", lambda r: r.writebacks),
+    "tlb_hit_rate": Metric(
+        "tlb_hit_rate", lambda r: r.tlb_hit_rate, higher_is_worse=False
+    ),
+    "prefetches": Metric(
+        "prefetches", lambda r: r.prefetches, higher_is_worse=None
+    ),
+    "dma_transfers": Metric(
+        "dma_transfers", lambda r: r.dma_transfers, higher_is_worse=None
+    ),
+}
+
+#: The default comparison set: the paper's time decomposition, the
+#: speedup claim, and the fault count.
+DEFAULT_METRICS = (
+    "vim_ms", "hw_ms", "sw_dp_ms", "sw_imu_ms", "speedup", "faults",
+)
+
+
+def within_tolerance(base: float, current: float, rtol: float, atol: float) -> bool:
+    """``|current - base| <= atol + rtol * |base|`` (numpy-isclose shape)."""
+    return abs(current - base) <= atol + rtol * abs(base)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric of one cell, compared across the two runs.
+
+    Parameters
+    ----------
+    metric : str
+        The metric's selector name.
+    base, current : float
+        The two values being compared.
+    changed : bool
+        Beyond tolerance in either direction.
+    regressed : bool
+        Changed *and* in the metric's bad direction.
+    """
+
+    metric: str
+    base: float
+    current: float
+    changed: bool
+    regressed: bool
+
+    @property
+    def absolute(self) -> float:
+        """``current - base``."""
+        return self.current - self.base
+
+    @property
+    def relative(self) -> float | None:
+        """``(current - base) / base``, or ``None`` when base is 0."""
+        if not self.base:
+            return None
+        return self.absolute / self.base
+
+
+def scalar_delta(
+    name: str,
+    base: float,
+    current: float,
+    rtol: float = 0.0,
+    atol: float = 0.0,
+    higher_is_worse: bool | None = True,
+) -> MetricDelta:
+    """Classify one (base, current) pair — the shared tolerance core.
+
+    Everything that compares two numbers under the repository's
+    tolerance policy funnels through here: the cache differ, and
+    ``tools/bench_diff.py`` for benchmark JSON.
+    """
+    delta = current - base
+    changed = not within_tolerance(base, current, rtol, atol)
+    if higher_is_worse is None:
+        worse = False
+    elif higher_is_worse:
+        worse = delta > 0
+    else:
+        worse = delta < 0
+    return MetricDelta(
+        metric=name,
+        base=base,
+        current=current,
+        changed=changed,
+        regressed=changed and worse,
+    )
+
+
+# ----------------------------------------------------------------------
+# Loading the two sides
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DiffSide:
+    """One loaded comparison side.
+
+    Parameters
+    ----------
+    origin : str
+        Where the rows came from (for messages).
+    rows : dict
+        Config hash -> :class:`~repro.exp.results.CellResult`.
+    stale : int
+        Files carrying a different :data:`~repro.exp.spec.CACHE_VERSION`
+        — usually a schema bump, reported distinctly from corruption.
+    invalid : int
+        Corrupt / renamed / unparsable files.
+    """
+
+    origin: str
+    rows: dict[str, CellResult]
+    stale: int
+    invalid: int
+
+
+def load_side(path: str | Path) -> DiffSide:
+    """Load one comparison side: a cache directory or a ``--json`` dump.
+
+    Directories go through the :func:`~repro.exp.cache.iter_classified`
+    gatekeeper (stale-version and invalid files counted separately); a
+    file is read as a ``repro sweep --json`` row dump through the
+    shared :func:`~repro.exp.cache.iter_dump_rows` gatekeeper (the
+    same one ``repro merge`` uses).
+
+    Raises
+    ------
+    ReproError
+        If *path* does not exist, holds no entries at all, is not a
+        JSON list (file case), or a dump carries two different results
+        for one config hash.
+    """
+    root = Path(path)
+    rows: dict[str, CellResult] = {}
+    stale = invalid = 0
+    if root.is_dir():
+        entries = 0
+        for _path, status, result in iter_classified(root):
+            entries += 1
+            if status == "ok":
+                rows[result.key] = result
+            elif status == "stale-version":
+                stale += 1
+            else:
+                invalid += 1
+        if not entries:
+            raise ReproError(
+                f"{root} holds no cache entries; pass a sweep-cache "
+                "directory or a `repro sweep --json` dump"
+            )
+        return DiffSide(origin=str(root), rows=rows, stale=stale, invalid=invalid)
+    if not root.is_file():
+        raise ReproError(f"diff source {root} does not exist")
+    entries = 0
+    for origin, result in iter_dump_rows(root):
+        entries += 1
+        if result is None:
+            invalid += 1
+            continue
+        known = rows.get(result.key)
+        if known is not None and known != result:
+            raise ReproError(
+                f"diff source {root} carries two different results for "
+                f"config {result.key} ({origin})"
+            )
+        rows[result.key] = result
+    if not entries:
+        raise ReproError(
+            f"{root} holds no result rows; pass a sweep-cache "
+            "directory or a non-empty `repro sweep --json` dump"
+        )
+    return DiffSide(origin=str(root), rows=rows, stale=stale, invalid=invalid)
+
+
+# ----------------------------------------------------------------------
+# The diff itself
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellDiff:
+    """All compared metrics of one config present in both runs."""
+
+    key: str
+    label: str
+    base: CellResult
+    current: CellResult
+    deltas: tuple[MetricDelta, ...]
+
+    @property
+    def changed(self) -> bool:
+        """Any metric beyond tolerance (either direction)."""
+        return any(d.changed for d in self.deltas)
+
+    @property
+    def regressed(self) -> bool:
+        """Any metric beyond tolerance in its bad direction."""
+        return any(d.regressed for d in self.deltas)
+
+
+@dataclass(frozen=True)
+class DiffResult:
+    """The typed outcome of comparing two runs.
+
+    Parameters
+    ----------
+    cells : tuple of CellDiff
+        Configs present in both runs, in canonical (label, key) order.
+    added, removed : tuple of CellResult
+        Configs only in the current run / only in the baseline.
+    baseline, current : DiffSide
+        The loaded sides (origins and stale/invalid counts).
+    metrics : tuple of str
+        The compared metric selectors, in column order.
+    rtol, atol : float
+        The tolerance the classification used.
+    """
+
+    cells: tuple[CellDiff, ...]
+    added: tuple[CellResult, ...]
+    removed: tuple[CellResult, ...]
+    baseline: DiffSide
+    current: DiffSide
+    metrics: tuple[str, ...]
+    rtol: float
+    atol: float
+
+    @property
+    def changed_cells(self) -> tuple[CellDiff, ...]:
+        return tuple(c for c in self.cells if c.changed)
+
+    @property
+    def regressions(self) -> tuple[CellDiff, ...]:
+        return tuple(c for c in self.cells if c.regressed)
+
+    @property
+    def has_regressions(self) -> bool:
+        """The CI gate: any matched cell regressed beyond tolerance."""
+        return bool(self.regressions)
+
+    def fingerprints(self) -> tuple[str, str]:
+        """Grid fingerprints of (baseline, current) — equal iff the
+        two runs cover the same configurations."""
+        return (
+            grid_fingerprint(r.config for r in self.baseline.rows.values()),
+            grid_fingerprint(r.config for r in self.current.rows.values()),
+        )
+
+
+def _resolve_metrics(names) -> list[Metric]:
+    unknown = [name for name in names if name not in METRICS]
+    if unknown:
+        raise ReproError(
+            f"unknown diff metric(s) {unknown}; choices: {sorted(METRICS)}"
+        )
+    return [METRICS[name] for name in names]
+
+
+def diff_rows(
+    baseline: DiffSide,
+    current: DiffSide,
+    metrics=DEFAULT_METRICS,
+    rtol: float = 0.0,
+    atol: float = 0.0,
+) -> DiffResult:
+    """Align two loaded sides by config hash and classify every metric.
+
+    Parameters
+    ----------
+    baseline, current : DiffSide
+        The two runs (see :func:`load_side`).
+    metrics : sequence of str
+        Metric selectors from :data:`METRICS`.
+    rtol, atol : float
+        Relative / absolute tolerance; a delta within
+        ``atol + rtol * |base|`` is neither a change nor a regression.
+        The defaults are exact — the simulator is deterministic, so
+        any drift is a real behaviour change.
+
+    Raises
+    ------
+    ReproError
+        On unknown metric names or negative tolerances.
+    """
+    if rtol < 0 or atol < 0:
+        raise ReproError(f"tolerances must be >= 0, got rtol={rtol} atol={atol}")
+    selected = _resolve_metrics(metrics)
+    matched = sorted(
+        baseline.rows.keys() & current.rows.keys(),
+        key=lambda key: (current.rows[key].label, key),
+    )
+    cells = []
+    for key in matched:
+        base_row = baseline.rows[key]
+        current_row = current.rows[key]
+        deltas = tuple(
+            scalar_delta(
+                metric.name,
+                metric.value(base_row),
+                metric.value(current_row),
+                rtol=rtol,
+                atol=atol,
+                higher_is_worse=metric.higher_is_worse,
+            )
+            for metric in selected
+        )
+        cells.append(CellDiff(
+            key=key,
+            label=current_row.label,
+            base=base_row,
+            current=current_row,
+            deltas=deltas,
+        ))
+    added = tuple(sorted(
+        (row for key, row in current.rows.items() if key not in baseline.rows),
+        key=lambda r: (r.label, r.key),
+    ))
+    removed = tuple(sorted(
+        (row for key, row in baseline.rows.items() if key not in current.rows),
+        key=lambda r: (r.label, r.key),
+    ))
+    return DiffResult(
+        cells=tuple(cells),
+        added=added,
+        removed=removed,
+        baseline=baseline,
+        current=current,
+        metrics=tuple(m.name for m in selected),
+        rtol=rtol,
+        atol=atol,
+    )
+
+
+def diff_caches(
+    baseline: str | Path,
+    current: str | Path,
+    metrics=DEFAULT_METRICS,
+    rtol: float = 0.0,
+    atol: float = 0.0,
+) -> DiffResult:
+    """Load and diff two result stores — the ``repro diff`` path.
+
+    A convenience composition of :func:`load_side` (twice) and
+    :func:`diff_rows`; no simulation happens.
+    """
+    return diff_rows(
+        load_side(baseline),
+        load_side(current),
+        metrics=metrics,
+        rtol=rtol,
+        atol=atol,
+    )
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+
+def format_delta_cell(delta: MetricDelta, marker: str = " !") -> str:
+    """One regression-table cell: ``0`` when equal, else the movement.
+
+    ``base→current (+Δ, +r%)``, with *marker* appended when the delta
+    regressed.  Shared with ``tools/bench_diff.py`` so the two
+    regression tables read identically.
+    """
+    if delta.absolute == 0:
+        return "0"
+    text = (
+        f"{format_cell(delta.base)}→{format_cell(delta.current)}"
+        f"{format_delta(delta.current, delta.base)}"
+    )
+    if delta.regressed and marker:
+        text += marker
+    return text
+
+
+def _cell_status(cell: CellDiff) -> str:
+    if cell.regressed:
+        return "REGRESSION"
+    if cell.changed:
+        return "changed"
+    return "ok"
+
+
+def _side_notes(side: DiffSide, name: str) -> list[str]:
+    notes = []
+    if side.stale:
+        notes.append(
+            f"{name}: {side.stale} stale-version file(s) skipped "
+            f"(written under a different CACHE_VERSION than {CACHE_VERSION})"
+        )
+    if side.invalid:
+        notes.append(f"{name}: {side.invalid} invalid file(s) skipped")
+    return notes
+
+
+def render_diff(result: DiffResult, fmt: str = "ascii", bars: bool = True) -> str:
+    """Render a :class:`DiffResult` as a regression table plus summary.
+
+    Parameters
+    ----------
+    result : DiffResult
+        The comparison to render.
+    fmt : str
+        One of :data:`~repro.exp.report.FORMATS`; the table routes
+        through :func:`~repro.exp.report.render_table`.
+    bars : bool
+        Append ASCII delta bars (relative deltas of the first compared
+        metric, changed cells only).  ``md`` wraps them in a fenced
+        block.
+
+    Returns
+    -------
+    str
+        The rendered diff (no trailing newline).  Identical runs
+        render an all-zero table and an "0 changed, 0 regressions"
+        summary.  ``csv`` emits the table records only — no summary,
+        notes, or bars — so the output stays machine-parseable; the
+        added/removed/stale information is available on the
+        :class:`DiffResult` itself, and the exit code still gates.
+    """
+    headers = ["cell"] + [f"Δ {name}" for name in result.metrics] + ["status"]
+    table = render_table(
+        headers,
+        [
+            [cell.label]
+            + [format_delta_cell(delta) for delta in cell.deltas]
+            + [_cell_status(cell)]
+            for cell in result.cells
+        ],
+        fmt,
+    )
+    if fmt == "csv":
+        return table
+    summary = (
+        f"{len(result.cells)} cell(s) compared: "
+        f"{len(result.changed_cells)} changed, "
+        f"{len(result.regressions)} regression(s); "
+        f"{len(result.added)} added, {len(result.removed)} removed "
+        f"(rtol={result.rtol:g}, atol={result.atol:g})"
+    )
+    lines = [table, "", summary]
+    if result.added:
+        labels = ", ".join(r.label for r in result.added)
+        lines.append(f"added (current only): {labels}")
+    if result.removed:
+        labels = ", ".join(r.label for r in result.removed)
+        lines.append(f"removed (baseline only): {labels}")
+    lines += _side_notes(result.baseline, "baseline")
+    lines += _side_notes(result.current, "current")
+    base_print, current_print = result.fingerprints()
+    if base_print != current_print:
+        lines.append(
+            f"grids differ: baseline fingerprint {base_print}, "
+            f"current {current_print}"
+        )
+    if not result.cells:
+        lines.append(
+            "no comparable cells — the runs share no config hash "
+            "(different grid, or a CACHE_VERSION bump made the baseline "
+            "stale); nothing to gate on"
+        )
+    if bars:
+        chart = _delta_bars(result)
+        if chart:
+            lines.append("")
+            if fmt == "md":
+                chart = f"```\n{chart}\n```"
+            lines.append(chart)
+    return "\n".join(lines)
+
+
+def _delta_bars(result: DiffResult) -> str:
+    """Delta bars for the first compared metric's changed cells."""
+    if not result.metrics:
+        return ""
+    primary = result.metrics[0]
+    rows = []
+    for cell in result.cells:
+        delta = cell.deltas[0]
+        if delta.changed and delta.relative is not None:
+            rows.append((cell.label, delta.relative * 100.0))
+    if not rows:
+        return ""
+    return f"Δ {primary} vs baseline:\n" + delta_bar_chart(rows)

@@ -17,14 +17,12 @@ picking a winner.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ReproError
-from repro.exp.cache import SweepCache, iter_entries, parse_entry
+from repro.exp.cache import SweepCache, iter_dump_rows, iter_entries
 from repro.exp.results import CellResult
-from repro.exp.spec import CACHE_VERSION
 
 
 @dataclass(frozen=True)
@@ -84,25 +82,14 @@ def _iter_source(path: Path):
     A directory is treated as a sweep cache (one payload per
     ``*.json`` file, which must be named by its config hash — same
     rule as the report loader); a file as a ``repro sweep --json``
-    dump (a JSON list of bare result rows, adopted under the current
-    :data:`~repro.exp.spec.CACHE_VERSION`).
+    dump, read through the shared
+    :func:`~repro.exp.cache.iter_dump_rows` gatekeeper.
     """
     if path.is_dir():
         for entry, result in iter_entries(path):
             yield str(entry), result
         return
-    try:
-        rows = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, ValueError) as error:
-        raise ReproError(f"unreadable merge source {path}: {error}")
-    if not isinstance(rows, list):
-        raise ReproError(
-            f"merge source {path} is not a cache directory or a "
-            "`repro sweep --json` row dump"
-        )
-    for index, row in enumerate(rows):
-        origin = f"{path}[{index}]"
-        yield origin, parse_entry({"version": CACHE_VERSION, "result": row})
+    yield from iter_dump_rows(path)
 
 
 def merge_into(

@@ -12,13 +12,19 @@ and the speedup-over-software column — without re-running anything:
 * :func:`render_report` — group the rows along chosen config axes and
   render one table per group, in ``md`` / ``csv`` / ``ascii``;
 * :func:`render_table` — the shared low-level table renderer (also
-  the formatting route for the benchmark reports and the CLI).
+  the formatting route for the benchmark reports and the CLI);
+* :func:`bar_chart` / :func:`stacked_bar_chart` /
+  :func:`delta_bar_chart` — the ASCII chart renderers (historically
+  ``analysis/charts.py``, now a compat shim over these).
 
 Because the row order is canonical (sorted by label, then config
 hash), a report rendered from N merged shard caches is byte-identical
 to one rendered from a single unsharded run — the property the CI
 matrix asserts.  ``repro sweep --report`` is the command-line face of
-this module.
+this module; with ``--baseline DIR`` every numeric cell is annotated
+with its delta against a second cache (the PR-vs-main workflow), and
+``repro diff`` (:mod:`repro.exp.diff`) builds its regression tables
+and delta bars from the same renderers.
 """
 
 from __future__ import annotations
@@ -109,6 +115,35 @@ _TABLE_RENDERERS: dict[str, Callable[[list[str], list[list]], str]] = {
 }
 
 
+def _is_number(value) -> bool:
+    """A genuinely numeric value (bools render yes/no, not as deltas)."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def format_delta(value, base) -> str:
+    """The annotation suffix for one report cell vs its baseline value.
+
+    Returns ``""`` unless both values are numeric; ``" (=)"`` for an
+    exact match; otherwise ``" (+Δ, +r%)"`` with the absolute delta
+    (integer-formatted when both sides are ints) and, when the base is
+    non-zero, the relative delta.  Shared by the ``--baseline`` report
+    annotation and the ``repro diff`` regression table so the two
+    surfaces read identically.
+    """
+    if not _is_number(value) or not _is_number(base):
+        return ""
+    delta = value - base
+    if delta == 0:
+        return " (=)"
+    if isinstance(value, int) and isinstance(base, int):
+        text = f"{delta:+d}"
+    else:
+        text = f"{delta:+.3f}"
+    if base:
+        text += f", {delta / base:+.1%}"
+    return f" ({text})"
+
+
 def render_table(headers: list[str], rows: list[list], fmt: str = "ascii") -> str:
     """Render one table in any of :data:`FORMATS`.
 
@@ -130,6 +165,113 @@ def render_table(headers: list[str], rows: list[list], fmt: str = "ascii") -> st
     if renderer is None:
         raise ReproError(f"unknown report format {fmt!r}; choices: {FORMATS}")
     return renderer(headers, rows)
+
+
+# ----------------------------------------------------------------------
+# ASCII charts (the paper's figures, and regression delta bars)
+# ----------------------------------------------------------------------
+
+#: Glyphs used for stacked bar segments, in component order.
+_SEGMENT_GLYPHS = ("█", "▓", "▒", "░")
+
+
+def bar_chart(
+    rows: list[tuple[str, float]],
+    width: int = 50,
+    unit: str = "ms",
+) -> str:
+    """Horizontal bars, one per (label, value) row."""
+    if width < 8:
+        raise ReproError("chart width must be at least 8 columns")
+    if not rows:
+        return "(no data)"
+    peak = max(value for _, value in rows)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        bar = "█" * max(1, round(value / peak * width)) if value > 0 else ""
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(
+    rows: list[tuple[str, dict[str, float]]],
+    width: int = 50,
+    unit: str = "ms",
+) -> str:
+    """Horizontal stacked bars (the paper's HW / SW(DP) / SW(IMU) stack).
+
+    Component order follows the dict insertion order of the first row;
+    a legend line maps glyphs to component names.
+    """
+    if not rows:
+        return "(no data)"
+    components = list(rows[0][1])
+    if len(components) > len(_SEGMENT_GLYPHS):
+        raise ReproError(
+            f"at most {len(_SEGMENT_GLYPHS)} stacked components supported"
+        )
+    peak = max(sum(parts.values()) for _, parts in rows) or 1.0
+    label_width = max(len(label) for label, _ in rows)
+    glyph_of = dict(zip(components, _SEGMENT_GLYPHS))
+    lines = [
+        "legend: "
+        + "  ".join(f"{glyph_of[name]}={name}" for name in components)
+    ]
+    for label, parts in rows:
+        segments = []
+        for name in components:
+            value = parts.get(name, 0.0)
+            segments.append(glyph_of[name] * round(value / peak * width))
+        total = sum(parts.values())
+        lines.append(
+            f"{label.ljust(label_width)} |{''.join(segments)} {total:.3f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def delta_bar_chart(
+    rows: list[tuple[str, float]],
+    width: int = 40,
+    unit: str = "%",
+) -> str:
+    """Signed horizontal bars around a centre axis.
+
+    Renders regression-table deltas: positive values grow rightwards
+    from the axis, negative leftwards, scaled to the largest absolute
+    value.  A zero row shows the bare axis.
+
+    Parameters
+    ----------
+    rows : list of (str, float)
+        ``(label, signed value)`` pairs, e.g. relative deltas in
+        percent.
+    width : int
+        Total bar columns (split evenly around the axis); >= 8.
+    unit : str
+        Suffix printed after each value.
+    """
+    if width < 8:
+        raise ReproError("chart width must be at least 8 columns")
+    if not rows:
+        return "(no data)"
+    peak = max(abs(value) for _, value in rows)
+    if peak <= 0:
+        peak = 1.0
+    half = width // 2
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        cells = max(1, round(abs(value) / peak * half)) if value else 0
+        left = ("█" * cells if value < 0 else "").rjust(half)
+        right = "█" * cells if value > 0 else ""
+        lines.append(
+            f"{label.ljust(label_width)} {left}|{right.ljust(half)} "
+            f"{value:+.1f}{unit}"
+        )
+    return "\n".join(lines)
 
 
 # ----------------------------------------------------------------------
@@ -214,7 +356,9 @@ class CacheRows:
     skipped: int
 
 
-def load_cache_rows(cache_dir: str | Path) -> CacheRows:
+def load_cache_rows(
+    cache_dir: str | Path, allow_empty: bool = False
+) -> CacheRows:
     """Load every valid cell result stored under *cache_dir*.
 
     Parameters
@@ -222,6 +366,12 @@ def load_cache_rows(cache_dir: str | Path) -> CacheRows:
     cache_dir : str or Path
         A sweep-cache directory (``--cache DIR`` of a previous run, or
         the output of :func:`repro.exp.merge.merge_into`).
+    allow_empty : bool
+        With the default ``False``, a directory holding no valid entry
+        raises.  ``True`` returns an empty row set instead — the
+        baseline loader uses that so a baseline written under an older
+        ``CACHE_VERSION`` degrades to "nothing to compare" rather than
+        failing the report it annotates.
 
     Returns
     -------
@@ -231,7 +381,8 @@ def load_cache_rows(cache_dir: str | Path) -> CacheRows:
     Raises
     ------
     ReproError
-        If the directory does not exist or holds no valid entry.
+        If the directory does not exist, or (unless *allow_empty*)
+        holds no valid entry.
     """
     root = Path(cache_dir)
     if not root.is_dir():
@@ -243,7 +394,7 @@ def load_cache_rows(cache_dir: str | Path) -> CacheRows:
             skipped += 1
         else:
             rows.append(result)
-    if not rows:
+    if not rows and not allow_empty:
         raise ReproError(
             f"no loadable cell results in {root} "
             f"({skipped} stale/invalid file(s) skipped); "
@@ -291,6 +442,7 @@ def render_report(
     group_by: tuple[str, ...] = (),
     fmt: str = "md",
     columns=DEFAULT_COLUMNS,
+    baseline=None,
 ) -> str:
     """Render *rows* as grouped tables.
 
@@ -308,6 +460,15 @@ def render_report(
         One of :data:`FORMATS`.
     columns : sequence of str
         Column selectors from :data:`COLUMNS`.
+    baseline : iterable of CellResult, optional
+        A second run's rows (``--baseline DIR``).  Every numeric cell
+        is annotated with its delta against the baseline row of the
+        same config hash (:func:`format_delta`); rows with no baseline
+        counterpart are marked ``(new)``, and baseline rows absent
+        from *rows* are listed after the tables (``md``/``ascii`` only
+        — ``csv`` stays pure records, with the annotations as quoted
+        fields).  ``None`` renders the classic unannotated report,
+        byte-identical to before the feature existed.
 
     Returns
     -------
@@ -330,12 +491,47 @@ def render_report(
     selected = _resolve_columns(columns)
     ordered = sorted(rows, key=lambda r: (r.label, r.key))
     headers = [column.header for _, column in selected]
+    base_by_key = (
+        None if baseline is None else {row.key: row for row in baseline}
+    )
+
+    def annotate(column, row):
+        value = column.value(row)
+        if base_by_key is None or not _is_number(value):
+            return value
+        base_row = base_by_key.get(row.key)
+        if base_row is None:
+            return f"{format_cell(value)} (new)"
+        return format_cell(value) + format_delta(value, column.value(base_row))
 
     def table_rows(group) -> list[list]:
-        return [[column.value(row) for _, column in selected] for row in group]
+        return [
+            [annotate(column, row) for _, column in selected]
+            for row in group
+        ]
+
+    def removed_note() -> str:
+        # csv stays pure records (a prose trailer would corrupt any
+        # downstream parser); annotation strings are quoted fields,
+        # which RFC 4180 allows.
+        if base_by_key is None or fmt == "csv":
+            return ""
+        present = {row.key for row in ordered}
+        gone = sorted(
+            (row.label, key)
+            for key, row in base_by_key.items()
+            if key not in present
+        )
+        if not gone:
+            return ""
+        labels = ", ".join(label for label, _ in gone)
+        return (
+            f"\n\n{len(gone)} baseline cell(s) absent from this cache: "
+            f"{labels}"
+        )
 
     if not group_by:
-        return render_table(headers, table_rows(ordered), fmt)
+        return render_table(headers, table_rows(ordered), fmt) + removed_note()
 
     grouped = _group_rows(ordered, tuple(group_by))
     if fmt == "csv":
@@ -344,7 +540,9 @@ def render_report(
             for values, group in grouped
             for cells in table_rows(group)
         ]
-        return render_table(list(group_by) + headers, flat, fmt)
+        return (
+            render_table(list(group_by) + headers, flat, fmt) + removed_note()
+        )
 
     sections = []
     for values, group in grouped:
@@ -354,7 +552,7 @@ def render_report(
         )
         heading = f"### {title}" if fmt == "md" else f"== {title} =="
         sections.append(heading + "\n\n" + render_table(headers, table_rows(group), fmt))
-    return "\n\n".join(sections)
+    return "\n\n".join(sections) + removed_note()
 
 
 def report_from_cache(
@@ -363,6 +561,7 @@ def report_from_cache(
     fmt: str = "md",
     columns=DEFAULT_COLUMNS,
     strict: bool = True,
+    baseline_dir: str | Path | None = None,
 ) -> str:
     """Load *cache_dir* and render its report — the ``--report`` path.
 
@@ -376,6 +575,12 @@ def report_from_cache(
         skipped (stale version, corrupt, renamed) — a partial table
         must not pass silently as the whole grid.  ``False`` renders
         the loadable subset; the CLI does that, printing a warning.
+    baseline_dir : str or Path, optional
+        A second cache directory (``--baseline DIR``): every numeric
+        cell gains its delta against the baseline row of the same
+        config hash.  Stale/invalid baseline entries never fail the
+        report — a baseline from an older ``CACHE_VERSION`` simply has
+        nothing to compare, and the current rows render ``(new)``.
     """
     loaded = load_cache_rows(cache_dir)
     if strict and loaded.skipped:
@@ -385,9 +590,13 @@ def report_from_cache(
             "re-run the sweep against this cache, or pass strict=False "
             "to report the loadable subset"
         )
+    baseline = None
+    if baseline_dir is not None:
+        baseline = load_cache_rows(baseline_dir, allow_empty=True).rows
     return render_report(
         loaded.rows,
         group_by=group_by,
         fmt=fmt,
         columns=columns,
+        baseline=baseline,
     )

@@ -221,6 +221,33 @@ def config_hash(config: CellConfig) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
+def grid_fingerprint(cells) -> str:
+    """A 12-hex-digit identity of *which* configurations a grid holds.
+
+    Computed over the **sorted config hashes** of the deduplicated cell
+    set — the same canonicalisation :func:`shard_cells` partitions by —
+    so two grids fingerprint equal exactly when they contain the same
+    configurations, regardless of axis declaration order, expansion
+    order, or duplicates.  Cross-run diffing uses it to state whether
+    two caches describe the same design space, and CI uses it to key
+    baseline caches per grid.
+
+    Parameters
+    ----------
+    cells : iterable of CellConfig
+        The grid (e.g. ``SweepSpec.expand()`` or a preset list).
+
+    Returns
+    -------
+    str
+        12 hex digits; covers :data:`CACHE_VERSION` via the config
+        hashes themselves.
+    """
+    keys = sorted({cell.key() for cell in cells})
+    digest = hashlib.sha256("\n".join(keys).encode("ascii"))
+    return digest.hexdigest()[:12]
+
+
 @dataclass(frozen=True)
 class SweepSpec:
     """A declarative run grid: the cartesian product of axis values.

@@ -1,8 +1,13 @@
-"""Unit tests for table and chart formatting."""
+"""Unit tests for table and chart formatting.
+
+Imports go through the ``analysis`` compat shims on purpose: the
+formatters live in :mod:`repro.exp.report` now, and these tests pin
+the historical import paths alongside the behaviour.
+"""
 
 import pytest
 
-from repro.analysis.charts import bar_chart, stacked_bar_chart
+from repro.analysis.charts import bar_chart, delta_bar_chart, stacked_bar_chart
 from repro.analysis.tables import format_table, markdown_table
 from repro.errors import ReproError
 
@@ -53,6 +58,45 @@ class TestBarChart:
     def test_too_narrow_rejected(self):
         with pytest.raises(ReproError):
             bar_chart([("a", 1.0)], width=4)
+
+
+class TestCompatShim:
+    def test_shim_and_exp_report_are_the_same_functions(self):
+        from repro.analysis import charts, tables
+        from repro.exp import report
+
+        assert charts.bar_chart is report.bar_chart
+        assert charts.stacked_bar_chart is report.stacked_bar_chart
+        assert charts.delta_bar_chart is report.delta_bar_chart
+        assert tables.render_table is report.render_table
+
+
+class TestDeltaBarChart:
+    def test_signed_bars_around_axis(self):
+        text = delta_bar_chart(
+            [("worse", 10.0), ("better", -5.0), ("same", 0.0)], width=20
+        )
+        worse, better, same = text.splitlines()
+        # Positive deltas grow right of the axis, negative left.
+        left, right = worse.split("|")
+        assert "█" in right and "█" not in left
+        left, right = better.split("|")
+        assert "█" in left and "█" not in right
+        assert "█" not in same
+        assert "+10.0%" in worse and "-5.0%" in better and "+0.0%" in same
+
+    def test_bars_scale_to_largest_magnitude(self):
+        text = delta_bar_chart([("a", 10.0), ("b", -10.0)], width=20)
+        a_line, b_line = text.splitlines()
+        assert a_line.count("█") == 10  # half the width each side
+        assert b_line.count("█") == 10
+
+    def test_empty_rows(self):
+        assert delta_bar_chart([]) == "(no data)"
+
+    def test_too_narrow_rejected(self):
+        with pytest.raises(ReproError):
+            delta_bar_chart([("a", 1.0)], width=4)
 
 
 class TestStackedBarChart:

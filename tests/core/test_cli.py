@@ -18,7 +18,7 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for command in ("fig7", "fig8", "fig9", "overheads", "ablations",
-                        "portability", "run", "sweep", "merge"):
+                        "portability", "run", "sweep", "merge", "diff"):
             assert command in text
 
 
@@ -281,3 +281,94 @@ class TestShardMergeReport:
         with pytest.raises(SystemExit):
             main(["merge", str(tmp_path / "merged"),
                   str(tmp_path / "a"), str(tmp_path / "b")])
+
+    def test_report_baseline_annotates_cells(self, capsys, tmp_path):
+        import json
+
+        assert main(["sweep", *self.GRID,
+                     "--cache", str(tmp_path / "base")]) == 0
+        assert main(["sweep", *self.GRID,
+                     "--cache", str(tmp_path / "cur")]) == 0
+        entry = next((tmp_path / "cur").glob("*.json"))
+        payload = json.loads(entry.read_text(encoding="utf-8"))
+        payload["result"]["vim_ms"] *= 2.0
+        entry.write_text(
+            json.dumps(payload, sort_keys=True, indent=1), encoding="utf-8"
+        )
+        capsys.readouterr()
+        assert main(["sweep", "--report", "--cache", str(tmp_path / "cur"),
+                     "--baseline", str(tmp_path / "base")]) == 0
+        out = capsys.readouterr().out
+        assert "+100.0%)" in out   # the doubled cell
+        assert "(=)" in out        # the untouched cells
+
+    def test_baseline_rejected_without_report(self, tmp_path):
+        # --baseline shapes --report output only; a sweep run that
+        # silently ignored it would mislead like --group-by would.
+        with pytest.raises(SystemExit):
+            main(["sweep", *self.GRID, "--baseline", str(tmp_path)])
+
+
+class TestDiffCLI:
+    GRID = ["--app", "vadd", "--kb", "1", "--policy", "fifo", "lru"]
+
+    def _two_caches(self, tmp_path):
+        for name in ("a", "b"):
+            assert main(["sweep", *self.GRID,
+                         "--cache", str(tmp_path / name)]) == 0
+        return tmp_path / "a", tmp_path / "b"
+
+    @staticmethod
+    def _worsen(cache, factor=1.5):
+        import json
+
+        entry = sorted(cache.glob("*.json"))[0]
+        payload = json.loads(entry.read_text(encoding="utf-8"))
+        payload["result"]["vim_ms"] *= factor
+        entry.write_text(json.dumps(payload), encoding="utf-8")
+
+    def test_identical_caches_all_zero_table_exit_0(self, capsys, tmp_path):
+        a, b = self._two_caches(tmp_path)
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "0 changed, 0 regression(s)" in out
+        assert "REGRESSION" not in out
+
+    def test_regression_exits_1(self, capsys, tmp_path):
+        a, b = self._two_caches(tmp_path)
+        self._worsen(b)
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_improvement_exits_0(self, capsys, tmp_path):
+        a, b = self._two_caches(tmp_path)
+        self._worsen(a)  # baseline slower -> current is an improvement
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b), "--metric", "vim_ms"]) == 0
+        assert "changed" in capsys.readouterr().out
+
+    def test_rtol_silences_small_regressions(self, capsys, tmp_path):
+        a, b = self._two_caches(tmp_path)
+        self._worsen(b, factor=1.05)
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b)]) == 1
+        assert main(["diff", str(a), str(b), "--rtol", "0.1"]) == 0
+
+    def test_md_format(self, capsys, tmp_path):
+        a, b = self._two_caches(tmp_path)
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b), "--format", "md"]) == 0
+        assert capsys.readouterr().out.startswith("| cell |")
+
+    def test_missing_side_exits_2(self, tmp_path):
+        a, _ = self._two_caches(tmp_path)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["diff", str(a), str(tmp_path / "absent")])
+        assert excinfo.value.code == 2
+
+    def test_unknown_metric_rejected(self, tmp_path):
+        a, b = self._two_caches(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["diff", str(a), str(b), "--metric", "warp_factor"])

@@ -81,3 +81,39 @@ class TestDefensiveLoads:
         # entry onto the new key and the version check still refuses.
         old_path.rename(tmp_path / f"{TINY.key()}.json")
         assert cache.load(TINY) is None
+
+
+class TestIterClassified:
+    def test_statuses_cover_ok_stale_and_invalid(self, tmp_path):
+        from repro.exp.cache import iter_classified, iter_entries
+        from repro.exp.spec import CACHE_VERSION
+
+        cache = SweepCache(tmp_path)
+        ok_path = cache.store(run_cell(TINY))
+        other = CellConfig(app="vadd", input_bytes=256, seed=2)
+        stale_path = cache.store(run_cell(other))
+        payload = json.loads(stale_path.read_text(encoding="utf-8"))
+        payload["version"] = CACHE_VERSION + 1
+        stale_path.write_text(json.dumps(payload), encoding="utf-8")
+        (tmp_path / "zz-corrupt.json").write_text("][", encoding="utf-8")
+        by_status = {
+            status: path.name
+            for path, status, _result in iter_classified(tmp_path)
+        }
+        assert by_status == {
+            "ok": ok_path.name,
+            "stale-version": stale_path.name,
+            "invalid": "zz-corrupt.json",
+        }
+        # iter_entries is the status-blind view of the same walk.
+        assert [(p.name, r is not None) for p, r in iter_entries(tmp_path)] \
+            == [(p.name, s == "ok") for p, s, _ in iter_classified(tmp_path)]
+
+    def test_renamed_entry_is_invalid_not_stale(self, tmp_path):
+        from repro.exp.cache import iter_classified
+
+        cache = SweepCache(tmp_path)
+        path = cache.store(run_cell(TINY))
+        path.rename(tmp_path / f"{'0' * 16}.json")
+        [(_, status, result)] = list(iter_classified(tmp_path))
+        assert status == "invalid" and result is None

@@ -56,6 +56,18 @@ class TestGoldenOutputs:
         random.Random(7).shuffle(shuffled)
         assert render_report(shuffled) == render_report(rows)
 
+    def test_baseline_annotated_report_matches_golden(self):
+        text = report_from_cache(
+            FIXTURES / "report_cache",
+            baseline_dir=FIXTURES / "baseline_cache",
+        )
+        assert text == _golden("report_vs_baseline.md")
+
+    def test_no_baseline_is_byte_identical_to_pre_feature_output(self):
+        # baseline=None must not perturb the historical golden bytes.
+        assert report_from_cache(FIXTURES / "report_cache", fmt="md") == \
+            _golden("report.md")
+
 
 class TestCacheLoading:
     def test_rows_sorted_by_label_then_key(self):
@@ -72,6 +84,13 @@ class TestCacheLoading:
         (tmp_path / "cache").mkdir()
         with pytest.raises(ReproError, match="no loadable"):
             load_cache_rows(tmp_path / "cache")
+
+    def test_allow_empty_returns_no_rows(self, tmp_path):
+        # The baseline loader's degradation path: an empty or all-stale
+        # directory means "nothing to compare", not a failed report.
+        (tmp_path / "cache").mkdir()
+        loaded = load_cache_rows(tmp_path / "cache", allow_empty=True)
+        assert loaded.rows == () and loaded.skipped == 0
 
     def test_stale_and_corrupt_entries_skipped(self, tmp_path):
         cache = tmp_path / "cache"
@@ -170,6 +189,54 @@ class TestGrouping:
         ]
         text = render_report(rows, group_by=("page_bytes",), fmt="md")
         assert text.index("page_bytes=None") < text.index("page_bytes=1024")
+
+    def test_baseline_annotations(self):
+        from repro.exp.spec import CellConfig
+
+        configs = [CellConfig(), CellConfig(policy="lru")]
+        current = [_synthetic_row(configs[0], 0), _synthetic_row(configs[1], 1)]
+        baseline = [_synthetic_row(configs[0], 2)]  # lru cell is new
+        text = render_report(
+            current, columns=("cell", "vim_ms"), fmt="csv", baseline=baseline
+        )
+        lines = text.splitlines()
+        assert lines[1].endswith('"1.000 (-2.000, -66.7%)"')
+        assert lines[2].endswith("2.000 (new)")
+
+    def test_baseline_equal_cells_annotated_as_equal(self):
+        from repro.exp.spec import CellConfig
+
+        rows = [_synthetic_row(CellConfig())]
+        text = render_report(
+            rows, columns=("cell", "vim_ms"), fmt="md", baseline=rows
+        )
+        assert "1.000 (=)" in text
+
+    def test_baseline_only_cells_listed_after_tables(self):
+        from repro.exp.spec import CellConfig
+
+        kept = _synthetic_row(CellConfig())
+        gone = _synthetic_row(CellConfig(policy="lru"), 1)
+        text = render_report([kept], fmt="md", baseline=[kept, gone])
+        assert text.endswith(
+            "1 baseline cell(s) absent from this cache: adpcm-8KB/lru"
+        )
+
+    def test_baseline_csv_stays_pure_records(self):
+        # The prose trailer would corrupt a CSV consumer; annotations
+        # ride inside quoted fields instead.
+        import csv as csv_module
+        import io
+
+        from repro.exp.spec import CellConfig
+
+        kept = _synthetic_row(CellConfig())
+        gone = _synthetic_row(CellConfig(policy="lru"), 1)
+        text = render_report([kept], fmt="csv", baseline=[kept, gone])
+        assert "absent from this cache" not in text
+        parsed = list(csv_module.reader(io.StringIO(text)))
+        assert len(parsed) == 2  # header + the one current row
+        assert all(len(row) == len(parsed[0]) for row in parsed)
 
     def test_typical_column_renders_dash_when_not_requested(self):
         from repro.exp.spec import CellConfig

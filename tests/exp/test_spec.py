@@ -140,3 +140,26 @@ class TestSweepSpec:
     def test_spec_is_frozen(self):
         with pytest.raises(dataclasses.FrozenInstanceError):
             SweepSpec().apps = ("idea",)
+
+
+class TestGridFingerprint:
+    def test_pure_function_of_the_config_set(self):
+        from repro.exp.spec import grid_fingerprint
+
+        grid = SweepSpec(policies=("fifo", "lru")).expand()
+        shuffled = list(reversed(grid))
+        duplicated = grid + grid
+        prints = {
+            grid_fingerprint(grid),
+            grid_fingerprint(shuffled),
+            grid_fingerprint(duplicated),
+        }
+        assert len(prints) == 1
+        assert len(prints.pop()) == 12
+
+    def test_different_grids_fingerprint_differently(self):
+        from repro.exp.spec import grid_fingerprint
+
+        a = SweepSpec(policies=("fifo",)).expand()
+        b = SweepSpec(policies=("lru",)).expand()
+        assert grid_fingerprint(a) != grid_fingerprint(b)

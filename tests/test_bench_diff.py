@@ -1,0 +1,138 @@
+"""Tests for the benchmark-JSON differ (``tools/bench_diff.py``).
+
+Mirrors the CI benchmarks job: two ``BENCH_results.json`` files go
+in, a regression table comes out, and the exit status gates on the
+deterministic simulated numbers in ``extra_info`` — not on noisy
+wall-time means (unless ``--fail-on-wall``).
+"""
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import bench_diff  # noqa: E402  (repo tool, imported from tools/)
+
+
+def _bench(fullname: str, mean: float, extra: dict) -> dict:
+    return {
+        "fullname": fullname,
+        "name": fullname.rsplit("::", 1)[-1],
+        "stats": {"mean": mean},
+        "extra_info": extra,
+    }
+
+
+BASE = {
+    "benchmarks": [
+        _bench("bench_a.py::test_one", 0.5, {"speedups": [1.5, 1.6], "faults": 3}),
+        _bench("bench_a.py::test_two", 0.2, {"edge": 4}),
+    ]
+}
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
+
+
+class TestBenchDiff:
+    def test_identical_files_exit_0(self, tmp_path, capsys):
+        a = _write(tmp_path, "a.json", BASE)
+        b = _write(tmp_path, "b.json", BASE)
+        assert bench_diff.main([a, b]) == 0
+        out = capsys.readouterr().out
+        assert "0 with simulated-number changes" in out
+
+    def test_extra_info_change_exits_1_either_direction(self, tmp_path, capsys):
+        changed = copy.deepcopy(BASE)
+        changed["benchmarks"][0]["extra_info"]["faults"] = 2  # improved!
+        a = _write(tmp_path, "a.json", BASE)
+        b = _write(tmp_path, "b.json", changed)
+        assert bench_diff.main([a, b]) == 1
+        assert "faults: 3→2" in capsys.readouterr().out
+
+    def test_list_extra_info_flattened_by_index(self, tmp_path, capsys):
+        changed = copy.deepcopy(BASE)
+        changed["benchmarks"][0]["extra_info"]["speedups"][1] = 1.4
+        a = _write(tmp_path, "a.json", BASE)
+        b = _write(tmp_path, "b.json", changed)
+        assert bench_diff.main([a, b]) == 1
+        assert "speedups[1]" in capsys.readouterr().out
+
+    def test_wall_time_informational_unless_flagged(self, tmp_path, capsys):
+        slower = copy.deepcopy(BASE)
+        slower["benchmarks"][0]["stats"]["mean"] = 1.0
+        a = _write(tmp_path, "a.json", BASE)
+        b = _write(tmp_path, "b.json", slower)
+        assert bench_diff.main([a, b]) == 0
+        assert "slower" in capsys.readouterr().out
+        assert bench_diff.main([a, b, "--fail-on-wall"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_rtol_applies(self, tmp_path):
+        slower = copy.deepcopy(BASE)
+        slower["benchmarks"][0]["stats"]["mean"] = 0.55  # +10%
+        a = _write(tmp_path, "a.json", BASE)
+        b = _write(tmp_path, "b.json", slower)
+        assert bench_diff.main(
+            [a, b, "--fail-on-wall", "--rtol", "0.2"]) == 0
+        assert bench_diff.main(
+            [a, b, "--fail-on-wall", "--rtol", "0.05"]) == 1
+
+    def test_added_and_removed_reported_without_gating(self, tmp_path, capsys):
+        grown = copy.deepcopy(BASE)
+        grown["benchmarks"] = [
+            grown["benchmarks"][0],
+            _bench("bench_b.py::test_new", 0.1, {}),
+        ]
+        a = _write(tmp_path, "a.json", BASE)
+        b = _write(tmp_path, "b.json", grown)
+        assert bench_diff.main([a, b]) == 0
+        out = capsys.readouterr().out
+        assert "added (current only): bench_b.py::test_new" in out
+        assert "removed (baseline only): bench_a.py::test_two" in out
+
+    def test_md_format(self, tmp_path, capsys):
+        a = _write(tmp_path, "a.json", BASE)
+        assert bench_diff.main([a, a, "--format", "md"]) == 0
+        assert capsys.readouterr().out.startswith("| benchmark |")
+
+    def test_malformed_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}", encoding="utf-8")
+        a = _write(tmp_path, "a.json", BASE)
+        assert bench_diff.main([str(bad), a]) == 2
+        assert "benchmarks" in capsys.readouterr().err
+
+    def test_removed_extra_info_key_is_lost_coverage(self, tmp_path, capsys):
+        shrunk = copy.deepcopy(BASE)
+        del shrunk["benchmarks"][0]["extra_info"]["faults"]
+        a = _write(tmp_path, "a.json", BASE)
+        b = _write(tmp_path, "b.json", shrunk)
+        assert bench_diff.main([a, b]) == 1
+        out = capsys.readouterr().out
+        assert "faults: removed" in out
+        assert "CHANGED" in out
+
+    def test_new_extra_info_key_reported_without_gating(self, tmp_path,
+                                                        capsys):
+        # Added coverage is welcome: visible in the table, exit 0.
+        grown = copy.deepcopy(BASE)
+        grown["benchmarks"][1]["extra_info"]["tlb"] = 7
+        a = _write(tmp_path, "a.json", BASE)
+        b = _write(tmp_path, "b.json", grown)
+        assert bench_diff.main([a, b]) == 0
+        assert "tlb: new" in capsys.readouterr().out
+
+    def test_non_numeric_extra_info_ignored(self):
+        flat = bench_diff.flatten_extra_info(
+            {"note": "hi", "ok": True, "n": 3, "xs": [1, "two"], "ys": [1, 2]}
+        )
+        assert flat == {"n": 3, "ys[0]": 1, "ys[1]": 2}

@@ -118,13 +118,17 @@ class TestCheckerCatchesRot:
         )
         assert check_docs.check_report_formats(page) == []
 
-    def test_undocumented_sweep_flag_detected(self, tmp_path):
-        # A page mentioning no flags at all misses every sweep option.
+    def test_undocumented_cli_flag_detected(self, tmp_path):
+        # A page mentioning no flags at all misses every sweep and
+        # diff option.
         page = tmp_path / "page.md"
         page.write_text("nothing here\n", encoding="utf-8")
-        failures = check_docs.check_sweep_flags(page)
+        failures = check_docs.check_cli_flags(page)
         assert any("--shard" in f for f in failures)
         assert any("--report" in f for f in failures)
+        assert any("--baseline" in f for f in failures)
+        assert any("--rtol" in f and "diff flag" in f for f in failures)
+        assert any("--atol" in f for f in failures)
         assert all("undocumented" in f for f in failures)
 
     def test_stale_flag_mention_detected(self, tmp_path):
@@ -134,7 +138,7 @@ class TestCheckerCatchesRot:
             readme + "\nand the retired `--warp-drive` flag\n",
             encoding="utf-8",
         )
-        failures = check_docs.check_sweep_flags(page)
+        failures = check_docs.check_cli_flags(page)
         assert len(failures) == 1
         assert "stale flag mention --warp-drive" in failures[0]
 
@@ -144,11 +148,11 @@ class TestCheckerCatchesRot:
         readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
         page = tmp_path / "page.md"
         page.write_text(
-            readme + "\nuse `--report --baseline DIR` for diffs\n",
+            readme + "\nuse `--report --warp-factor N` for speed\n",
             encoding="utf-8",
         )
-        failures = check_docs.check_sweep_flags(page)
-        assert any("--baseline" in f for f in failures)
+        failures = check_docs.check_cli_flags(page)
+        assert any("--warp-factor" in f for f in failures)
 
     def test_fenced_blocks_excluded_from_stale_mention_scan(self, tmp_path):
         readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
@@ -157,10 +161,18 @@ class TestCheckerCatchesRot:
             readme + "\n```sh\npytest --benchmark-only\n```\n",
             encoding="utf-8",
         )
-        assert check_docs.check_sweep_flags(page) == []
+        assert check_docs.check_cli_flags(page) == []
 
     def test_readme_flag_lists_are_current(self):
-        assert check_docs.check_sweep_flags(REPO_ROOT / "README.md") == []
+        assert check_docs.check_cli_flags(REPO_ROOT / "README.md") == []
+
+    def test_diff_flags_are_covered_by_the_checker(self):
+        # The coverage direction must include the diff subcommand, so
+        # adding a diff flag without documenting it fails the gate.
+        assert "diff" in check_docs.DOCUMENTED_COMMANDS
+        _every, per_command = check_docs._parser_options()
+        assert "--rtol" in per_command["diff"]
+        assert "--baseline" in per_command["sweep"]
 
     def test_docs_flag_mentions_are_current(self):
         for doc in sorted((REPO_ROOT / "docs").glob("*.md")):

@@ -19,11 +19,13 @@ Three guarantees over ``README.md`` and every ``docs/*.md``:
    {...}`` list must match ``repro.exp.report.FORMATS`` exactly —
    adding a value without documenting it (or documenting one that
    does not exist) fails the job.
-4. **The sweep flag list is current.**  Every ``repro sweep`` option
-   the parser defines (``--shard``, ``--report``, ``--group-by``, …)
-   must be mentioned in README.md, and every inline-code flag the
-   README mentions must exist on some ``repro`` subcommand — renaming
-   or removing a flag without updating the docs fails the job.
+4. **The CLI flag lists are current.**  Every ``repro sweep`` and
+   ``repro diff`` option the parser defines (``--shard``,
+   ``--report``, ``--baseline``, ``--rtol``, …) must be mentioned in
+   README.md, and every inline-code flag the README mentions must
+   exist on some ``repro`` subcommand — renaming or removing a flag
+   without updating the docs fails the job (both directions, for both
+   subcommands).
 
 ``main()`` returns the number of failing checks; the process exit
 status is 1 if anything failed, else 0 (a raw count would wrap modulo
@@ -79,7 +81,10 @@ _FLAG_TOKEN_RE = re.compile(r"--[a-z][a-z0-9-]*")
 #: subcommand defines them: third-party tools' options and the docs'
 #: own ``--flag`` placeholder spelling.  Extend this when documenting
 #: another tool's option in prose.
-FOREIGN_FLAGS = frozenset({"--benchmark-only", "--benchmark-json", "--flag"})
+FOREIGN_FLAGS = frozenset({
+    "--benchmark-only", "--benchmark-json", "--flag",
+    "--fail-on-wall",  # tools/bench_diff.py
+})
 
 
 def _rel(path: Path) -> str:
@@ -192,23 +197,30 @@ def check_report_formats(path: Path) -> list[str]:
     )
 
 
+#: Subcommands whose full flag set must be documented in README.md
+#: (the coverage direction; the stale-mention direction covers every
+#: subcommand automatically).
+DOCUMENTED_COMMANDS = ("sweep", "diff")
+
+
 @functools.lru_cache(maxsize=1)
-def _parser_options() -> tuple[frozenset[str], frozenset[str]]:
-    """All long options of the ``repro`` CLI, and the ``sweep`` subset.
+def _parser_options() -> tuple[frozenset[str], dict[str, frozenset[str]]]:
+    """All long options of the ``repro`` CLI, and the per-subcommand sets.
 
     Cached: the walk rebuilds the whole parser, and the flag checks
     run once per scanned doc file.
     """
     every: set[str] = set()
-    sweep: set[str] = set()
+    per_command: dict[str, set[str]] = {}
     for command, action in iter_option_actions():
         longs = {o for o in action.option_strings if o.startswith("--")}
+        longs.discard("--help")
         every |= longs
-        if command == "sweep":
-            sweep |= longs
-    every.discard("--help")
-    sweep.discard("--help")
-    return frozenset(every), frozenset(sweep)
+        if command is not None:
+            per_command.setdefault(command, set()).update(longs)
+    return frozenset(every), {
+        name: frozenset(flags) for name, flags in per_command.items()
+    }
 
 
 def check_flag_mentions(path: Path) -> list[str]:
@@ -222,7 +234,7 @@ def check_flag_mentions(path: Path) -> list[str]:
     """
     failures = []
     text = path.read_text(encoding="utf-8")
-    every, _sweep = _parser_options()
+    every, _per_command = _parser_options()
     prose = _FENCE_RE.sub("", text)
     for span in _CODE_SPAN_RE.finditer(prose):
         for flag in _FLAG_TOKEN_RE.findall(span.group(1)):
@@ -235,24 +247,26 @@ def check_flag_mentions(path: Path) -> list[str]:
     return failures
 
 
-def check_sweep_flags(path: Path) -> list[str]:
-    """Keep the README's sweep flag list in lockstep with the parser.
+def check_cli_flags(path: Path) -> list[str]:
+    """Keep the README's CLI flag lists in lockstep with the parser.
 
-    Two directions: every ``repro sweep`` option must be mentioned in
-    the file (tokenized, not substring: a mention of ``--shard-size``
-    would not satisfy ``--shard``; fenced examples count — a worked
-    sh example documents a flag), plus the per-file stale-mention
-    scan of :func:`check_flag_mentions`.
+    Two directions: every option of every :data:`DOCUMENTED_COMMANDS`
+    subcommand (``sweep`` and ``diff``) must be mentioned in the file
+    (tokenized, not substring: a mention of ``--shard-size`` would not
+    satisfy ``--shard``; fenced examples count — a worked sh example
+    documents a flag), plus the per-file stale-mention scan of
+    :func:`check_flag_mentions`.
     """
     failures = []
     text = path.read_text(encoding="utf-8")
-    _every, sweep = _parser_options()
+    _every, per_command = _parser_options()
     documented = set(_FLAG_TOKEN_RE.findall(text))
-    for flag in sorted(sweep):
-        if flag not in documented:
-            failures.append(
-                f"{_rel(path)}: sweep flag {flag} is undocumented"
-            )
+    for command in DOCUMENTED_COMMANDS:
+        for flag in sorted(per_command.get(command, ())):
+            if flag not in documented:
+                failures.append(
+                    f"{_rel(path)}: {command} flag {flag} is undocumented"
+                )
     return failures + check_flag_mentions(path)
 
 
@@ -273,7 +287,7 @@ def main() -> int:
             # README gets the full two-direction check below; other
             # docs get the stale-mention direction only.
             failures += check_flag_mentions(path)
-    failures += check_sweep_flags(REPO_ROOT / "README.md")
+    failures += check_cli_flags(REPO_ROOT / "README.md")
     for name in AXIS_LIST_FILES:
         failures += check_transfer_modes(REPO_ROOT / name)
         failures += check_report_formats(REPO_ROOT / name)

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Print the baseline-cache key for a ``repro sweep`` flag string.
+
+Run from the repository root (the CI baseline jobs do)::
+
+    PYTHONPATH=src python tools/grid_key.py "$SMOKE_GRID"
+    v3-1a2b3c4d5e6f
+
+The output is ``v<CACHE_VERSION>-<grid_fingerprint>``: the fingerprint
+is computed over the sorted config hashes of the expanded grid
+(:func:`repro.exp.spec.grid_fingerprint`), so it is a pure function of
+*which* configurations the flags describe — reformatting or reordering
+the flag string cannot fork a baseline lineage, and a ``CACHE_VERSION``
+bump (covered by the config hashes, and spelled out in the prefix for
+debuggability) starts a fresh one.  CI uses it to key the
+``actions/cache`` entries the PR regression gate restores.
+
+Arguments are the sweep axis flags, as separate argv entries or as one
+quoted string (both spellings shell-split identically).
+"""
+
+from __future__ import annotations
+
+import shlex
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import build_parser, spec_from_args  # noqa: E402
+from repro.exp.spec import (  # noqa: E402
+    CACHE_VERSION,
+    SweepSpec,
+    grid_fingerprint,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    tokens = [token for arg in argv for token in shlex.split(arg)]
+    if not tokens:
+        print("usage: grid_key.py SWEEP_FLAGS...", file=sys.stderr)
+        return 2
+    args = build_parser().parse_args(["sweep", *tokens])
+    spec = spec_from_args(args)
+    cells = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
+    print(f"v{CACHE_VERSION}-{grid_fingerprint(cells)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

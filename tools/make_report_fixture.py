@@ -22,6 +22,7 @@ The fix is one command: re-run this script and commit the refreshed
 
 from __future__ import annotations
 
+import dataclasses
 import shutil
 import sys
 from pathlib import Path
@@ -30,12 +31,14 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.exp.cache import SweepCache  # noqa: E402
+from repro.exp.diff import diff_caches, render_diff  # noqa: E402
 from repro.exp.report import render_report  # noqa: E402
 from repro.exp.results import CellResult  # noqa: E402
 from repro.exp.spec import CellConfig  # noqa: E402
 
 FIXTURE_DIR = REPO_ROOT / "tests" / "exp" / "fixtures"
 CACHE_DIR = FIXTURE_DIR / "report_cache"
+BASELINE_DIR = FIXTURE_DIR / "baseline_cache"
 
 #: The fixture grid: 2 apps x 2 policies at 4 KB.
 GRID = [
@@ -86,26 +89,61 @@ def synthetic_result(config: CellConfig, index: int) -> CellResult:
     )
 
 
+def baseline_result(row: CellResult, index: int) -> CellResult | None:
+    """The baseline-cache variant of one fixture row.
+
+    Deliberately exercises every diff classification: row 0 is
+    identical, row 1's baseline is *faster* (so the current row reads
+    as a regression), row 2's baseline has *more* faults (so the
+    current row reads as an improvement), and row 3 is absent from the
+    baseline entirely (an added cell / ``(new)`` annotation).
+    """
+    if index == 3:
+        return None
+    if index == 1:
+        vim = row.vim_ms * 0.9
+        return dataclasses.replace(
+            row, vim_ms=vim, vim_speedup=row.sw_ms / vim
+        )
+    if index == 2:
+        return dataclasses.replace(row, page_faults=row.page_faults + 2)
+    return row
+
+
 def main() -> int:
-    if CACHE_DIR.exists():
-        shutil.rmtree(CACHE_DIR)
+    for stale in (CACHE_DIR, BASELINE_DIR):
+        if stale.exists():
+            shutil.rmtree(stale)
     cache = SweepCache(CACHE_DIR)
+    baseline_cache = SweepCache(BASELINE_DIR)
     rows = [
         synthetic_result(config, index)
         for index, config in enumerate(
             sorted(GRID, key=lambda c: (c.app, c.policy))
         )
     ]
-    for row in rows:
+    baseline_rows = []
+    for index, row in enumerate(rows):
         cache.store(row)
+        base = baseline_result(row, index)
+        if base is not None:
+            baseline_cache.store(base)
+            baseline_rows.append(base)
     for name, options in GOLDENS.items():
         text = render_report(
             rows, group_by=options["group_by"], fmt=options["fmt"]
         )
         (FIXTURE_DIR / name).write_text(text + "\n", encoding="utf-8")
+    annotated = render_report(rows, fmt="md", baseline=baseline_rows)
+    (FIXTURE_DIR / "report_vs_baseline.md").write_text(
+        annotated + "\n", encoding="utf-8"
+    )
+    diff_text = render_diff(diff_caches(BASELINE_DIR, CACHE_DIR), fmt="md")
+    (FIXTURE_DIR / "diff.md").write_text(diff_text + "\n", encoding="utf-8")
     print(
-        f"wrote {len(rows)} cache entries and {len(GOLDENS)} golden "
-        f"file(s) under {FIXTURE_DIR.relative_to(REPO_ROOT)}"
+        f"wrote {len(rows)}+{len(baseline_rows)} cache entries and "
+        f"{len(GOLDENS) + 2} golden file(s) under "
+        f"{FIXTURE_DIR.relative_to(REPO_ROOT)}"
     )
     return 0
 
