@@ -32,6 +32,7 @@ import functools
 import json
 import re
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import Callable
 
@@ -59,6 +60,7 @@ from repro.exp.spec import (
     SweepSpec,
     shard_cells,
 )
+from repro.sim.engine import ENGINES
 
 #: Ablation registry: name -> (driver, row headers, row formatter).
 _ABLATIONS: dict[str, Callable] = {
@@ -215,8 +217,10 @@ def _option_in_argv(argv, option: str) -> bool:
 
 #: Sweep flags that stay meaningful alongside ``--preset`` (the preset
 #: defines the grid; these control how it runs or where results go).
+#: ``engine`` qualifies: the backend changes how cells are simulated,
+#: never which cells exist — it is not part of the grid.
 _PRESET_FLAGS = frozenset(
-    {"preset", "jobs", "cache", "json", "force", "shard"}
+    {"preset", "jobs", "cache", "json", "force", "shard", "engine"}
 ) | _REPORT_FLAGS
 
 
@@ -251,7 +255,12 @@ def spec_from_args(args: argparse.Namespace):
     the CI baseline-cache key without running it).
     """
     if args.preset:
-        return _SWEEP_PRESETS[args.preset]
+        # The preset is the grid; --engine only changes how it runs
+        # (and is hash-neutral, so the cache cells stay the same).
+        return [
+            replace(cell, engine=args.engine)
+            for cell in _SWEEP_PRESETS[args.preset]
+        ]
     return SweepSpec(
         apps=tuple(args.app),
         input_bytes=tuple(kb * 1024 for kb in args.kb),
@@ -267,6 +276,7 @@ def spec_from_args(args: argparse.Namespace):
         tenant_mixes=tuple(args.tenant_mix),
         tenant_repeats=tuple(args.tenant_repeats),
         with_typical=args.typical,
+        engine=args.engine,
     )
 
 
@@ -555,6 +565,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "axis flags is an error)")
     sweep.add_argument("--typical", action="store_true",
                        help="also run the typical (non-VIM) coprocessor")
+    sweep.add_argument("--engine", default="reference", choices=ENGINES,
+                       help="simulation kernel backend for every cell "
+                            "(one value, not an axis: backends are "
+                            "result-equivalent and share cache cells)")
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes (cells are independent)")
     sweep.add_argument("--cache", default=None, metavar="DIR",

@@ -11,6 +11,7 @@ to silently wrong numbers.
 from __future__ import annotations
 
 import json
+from dataclasses import replace
 from pathlib import Path
 
 from repro.errors import ReproError
@@ -175,7 +176,13 @@ class SweepCache:
         except (OSError, ValueError):
             return None
         result = parse_entry(payload)
-        if result is None or result.config != config:
+        if result is None:
+            return None
+        if replace(result.config, engine=config.engine) != config:
+            # The engine field is excluded from the config hash because
+            # backends are result-equivalent: a row priced by either
+            # backend serves a sweep running the other.  Any *other*
+            # config mismatch is a collision or corruption — a miss.
             return None
         return result
 

@@ -17,12 +17,26 @@ picking a winner.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.errors import ReproError
 from repro.exp.cache import SweepCache, iter_dump_rows, iter_entries
 from repro.exp.results import CellResult
+
+
+def _same_result(known: CellResult, other: CellResult) -> bool:
+    """Row equality modulo the engine field.
+
+    The engine backend is excluded from cell identity (backends are
+    result-equivalent and share config hashes), so a reference shard
+    and a fast shard of the same grid merge as identical rows rather
+    than conflicting.  Any other difference is a real conflict.
+    """
+    if known == other:
+        return True
+    aligned = replace(known.config, engine=other.config.engine)
+    return replace(known, config=aligned) == other
 
 
 @dataclass(frozen=True)
@@ -156,7 +170,7 @@ def merge_into(
                 existing = (
                     cache.load(result.config) if cache is not None else None
                 )
-                if existing is not None and existing != result:
+                if existing is not None and not _same_result(existing, result):
                     conflicted.add(key)
                     conflicts.append(MergeConflict(
                         key=key,
@@ -170,7 +184,7 @@ def merge_into(
                     identical += 1
                 chosen[key] = result
                 origin_by_key[key] = origin
-            elif known == result:
+            elif _same_result(known, result):
                 identical += 1
             else:
                 conflicted.add(key)

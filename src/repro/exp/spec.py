@@ -15,13 +15,15 @@ import json
 from dataclasses import asdict, dataclass, fields
 
 from repro.errors import ReproError
+from repro.sim.engine import ENGINES
 
 #: Bump when CellResult semantics change, so stale caches miss.
-#: (3: the ``dma`` transfer axis value, the tlb_refills/dma_transfers
-#: result columns, and the transfer-accounting fixes — parameter-page
-#: copies now honour the transfer mode and TLB-only reinstalls no
-#: longer count as page faults — reprice every cached cell.)
-CACHE_VERSION = 3
+#: (4: the ``engine`` backend field joins the cell config.  It is
+#: excluded from the config hash — both backends must produce
+#: byte-identical results, and shared hashes are what lets ``repro
+#: diff`` align a reference cache against a fast one — but cached rows
+#: now record which backend priced them, so old rows must miss.)
+CACHE_VERSION = 4
 
 #: Applications the cell runner knows how to build (see exp.cell).
 APPS = ("adpcm", "idea", "idea-dec", "vadd", "adpcm-enc")
@@ -91,6 +93,14 @@ class CellConfig:
     tenant_repeats : int
         FPGA_EXECUTE calls per tenant; with >= 2, a tenant re-touches
         pages a neighbour may have stolen between its turns.
+    engine : str
+        Simulation kernel backend, one of
+        :data:`repro.sim.engine.ENGINES`.  **Not an axis of the design
+        space**: both backends are required to produce byte-identical
+        results, so the field is excluded from :func:`config_hash` and
+        from :meth:`label` — a fast-backend sweep reads and writes the
+        same cache cells a reference sweep would, which is exactly what
+        lets ``repro diff`` check the two against each other.
     """
 
     app: str = "adpcm"
@@ -110,10 +120,15 @@ class CellConfig:
     tenants: int = 1
     tenant_mix: str = "same"
     tenant_repeats: int = 1
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
         if self.app not in APPS:
             raise ReproError(f"unknown app {self.app!r}; choices: {APPS}")
+        if self.engine not in ENGINES:
+            raise ReproError(
+                f"unknown engine backend {self.engine!r}; choices: {ENGINES}"
+            )
         if self.transfer not in TRANSFERS:
             raise ReproError(
                 f"unknown transfer mode {self.transfer!r}; choices: {TRANSFERS}"
@@ -215,8 +230,15 @@ def config_hash(config: CellConfig) -> str:
     The digest covers every field plus :data:`CACHE_VERSION`, so any
     change to either the configuration or the result schema produces a
     clean cache miss rather than a stale read.
+
+    The ``engine`` field is the one exception: the backend is required
+    to be observationally equivalent, so it must not fork the cache
+    identity — reference and fast sweeps share cells, and ``repro
+    diff`` aligns their caches row for row.
     """
-    payload = {"version": CACHE_VERSION, "config": config.to_dict()}
+    config_dict = config.to_dict()
+    config_dict.pop("engine", None)
+    payload = {"version": CACHE_VERSION, "config": config_dict}
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
@@ -271,6 +293,12 @@ class SweepSpec:
     with_typical : bool
         Applied to every cell (not an axis): also run the typical
         coprocessor version where it fits.
+    engine : str
+        Applied to every cell (not an axis): the simulation kernel
+        backend, one of :data:`repro.sim.engine.ENGINES`.  Deliberately
+        a whole-spec knob — as an axis it would be futile, because the
+        engine is excluded from the config hash and the duplicate cells
+        would collapse to one.
 
     Examples
     --------
@@ -298,6 +326,7 @@ class SweepSpec:
     tenant_mixes: tuple[str, ...] = ("same",)
     tenant_repeats: tuple[int, ...] = (1,)
     with_typical: bool = False
+    engine: str = "reference"
 
     def expand(self) -> list[CellConfig]:
         """Expand the grid to concrete cells.
@@ -338,6 +367,7 @@ class SweepSpec:
                     tenants=ntenants,
                     tenant_mix=mix,
                     tenant_repeats=repeats,
+                    engine=self.engine,
                 )
             )
         return cells

@@ -28,6 +28,20 @@ class TestRoundTrip:
         other = CellConfig(app="vadd", input_bytes=256, policy="lru")
         assert cache.load(other) is None
 
+    def test_row_serves_the_other_engine(self, tmp_path):
+        # The engine backend is excluded from cell identity: a row
+        # priced by either backend must serve a sweep running the
+        # other (the CI equivalence job's cache-hit guard relies on
+        # this).  The returned row keeps its own provenance.
+        from dataclasses import replace
+
+        cache = SweepCache(tmp_path)
+        result = run_cell(TINY)
+        cache.store(result)
+        hit = cache.load(replace(TINY, engine="fast"))
+        assert hit == result
+        assert hit.config.engine == "reference"
+
     def test_len_counts_entries(self, tmp_path):
         cache = SweepCache(tmp_path)
         assert len(cache) == 0

@@ -1,0 +1,97 @@
+"""Backend equivalence: fast and reference cells must be byte-equal.
+
+The whole fast-backend design rests on one falsifiable claim: for any
+cell in the design space, the fast engine produces the *same result
+row* as the reference engine — same timing, same counters, same fault
+ordering, same cache hash.  This suite checks the claim on a curated
+set of known-tricky configurations (dual-domain IDEA, faulting LRU,
+DMA descriptors, contention, overlapped prefetch) plus a seeded random
+sample of the axis space, so every run also probes a reproducible but
+arbitrary corner.
+
+``repro diff`` enforces the same property in CI over the smoke grid;
+this suite is the fast, local, always-on version.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.exp.cell import run_cell
+from repro.exp.spec import CellConfig
+
+#: Hand-picked configurations covering each fast-path mechanism:
+#: single-domain burst + wrapper hook, dual-domain bare hook, TLB
+#: pressure (faults and evictions mid-burst), DMA one-shot completions
+#: racing clock edges, overlapped prefetch, the pipelined IMU's
+#: different translation latency, and the multi-tenant session
+#: interleaving (clock stop/start per interrupt, skip-budget carry).
+CURATED = [
+    CellConfig(app="adpcm", input_bytes=2 * 1024),
+    CellConfig(app="adpcm", input_bytes=4 * 1024, policy="lru", tlb_capacity=4),
+    CellConfig(app="idea", input_bytes=2 * 1024),
+    CellConfig(app="vadd", input_bytes=4 * 1024, transfer="dma"),
+    CellConfig(
+        app="vadd", input_bytes=4 * 1024,
+        prefetch="overlapped", prefetch_depth=2, transfer="dma",
+    ),
+    CellConfig(app="adpcm", input_bytes=2 * 1024, pipelined_imu=True),
+    CellConfig(app="adpcm", input_bytes=2 * 1024, with_typical=True),
+    CellConfig(
+        app="adpcm", input_bytes=2 * 1024,
+        tenants=2, tenant_mix="adpcm+idea", tenant_repeats=2,
+    ),
+]
+
+
+def _random_configs(count: int) -> list[CellConfig]:
+    """A seeded sample of the axis space (small inputs, fast to run).
+
+    The seed is fixed so failures reproduce, but the sample still
+    sweeps corners no one thought to hand-pick.  Keep the generator
+    stable: appending new axes is fine, reordering draws is not.
+    """
+    rng = random.Random(0xD47E2004)
+    configs = []
+    while len(configs) < count:
+        tenants = rng.choice([1, 1, 1, 2])
+        config = CellConfig(
+            app=rng.choice(("adpcm", "idea", "vadd")),
+            input_bytes=rng.choice((1024, 2048, 4096)),
+            seed=rng.randrange(1, 100),
+            policy=rng.choice(("fifo", "lru")),
+            transfer=rng.choice(("double", "single", "dma")),
+            prefetch=rng.choice(("none", "sequential", "overlapped")),
+            tlb_capacity=rng.choice((None, 4, 8)),
+            pipelined_imu=rng.random() < 0.25,
+            tenants=tenants,
+            tenant_repeats=rng.choice((1, 2)) if tenants > 1 else 1,
+        )
+        configs.append(config)
+    return configs
+
+
+def _comparable(config: CellConfig) -> dict:
+    """The full result row, minus the one field allowed to differ."""
+    row = run_cell(config).to_dict()
+    assert row["config"]["engine"] == config.engine
+    del row["config"]["engine"]
+    return row
+
+
+@pytest.mark.parametrize(
+    "config", CURATED + _random_configs(4),
+    ids=lambda c: f"{c.label()}-s{c.seed}",
+)
+def test_fast_engine_matches_reference(config):
+    reference = _comparable(replace(config, engine="reference"))
+    fast = _comparable(replace(config, engine="fast"))
+    assert fast == reference
+
+
+def test_backends_share_cache_key_and_label():
+    base = CellConfig(app="adpcm", engine="reference")
+    fast = replace(base, engine="fast")
+    assert base.key() == fast.key()
+    assert base.label() == fast.label()

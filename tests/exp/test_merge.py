@@ -82,6 +82,23 @@ class TestMerge:
         assert summary.written == 2
         assert summary.identical == 2
 
+    def test_engine_differing_rows_merge_as_identical(self, tmp_path):
+        # A reference cache and a fast cache of the same grid hold
+        # rows differing only in the recorded engine field; the merge
+        # must treat them as the identical cells they are (backends
+        # are result-equivalent), not as conflicts.
+        from dataclasses import replace
+
+        run_sweep(GRID, cache_dir=tmp_path / "ref")
+        run_sweep(replace(GRID, engine="fast"), cache_dir=tmp_path / "fast")
+        summary = merge_into(
+            tmp_path / "merged", [tmp_path / "ref", tmp_path / "fast"]
+        )
+        assert summary.written == 2
+        assert summary.identical == 2
+        # First-seen provenance wins in the merged files.
+        assert _files(tmp_path / "merged") == _files(tmp_path / "ref")
+
     def test_rows_json_dump_is_a_valid_source(self, shard_caches, tmp_path):
         rows = run_sweep(GRID, cache_dir=shard_caches / "full").rows
         dump = tmp_path / "rows.json"

@@ -67,6 +67,34 @@ class TestCancel:
         engine.cancel(handle)
         assert engine.pending() == 1
 
+    def test_cancel_of_executed_handle_is_noop(self, engine: Engine):
+        # Regression: cancelling a handle that already ran used to park
+        # it in the tombstone set forever, making pending() undercount
+        # and the set grow without bound over long runs.
+        handle = engine.schedule(10, lambda: None)
+        engine.drain()
+        engine.cancel(handle)
+        assert engine.pending() == 0
+        engine.schedule(10, lambda: None)
+        assert engine.pending() == 1
+
+    def test_cancel_of_unknown_handle_is_noop(self, engine: Engine):
+        engine.schedule(10, lambda: None)
+        engine.cancel(12345)  # never issued
+        assert engine.pending() == 1
+        log = []
+        engine.schedule(20, lambda: log.append("y"))
+        engine.drain()
+        assert log == ["y"]
+
+    def test_double_cancel_counts_once(self, engine: Engine):
+        handle = engine.schedule(10, lambda: None)
+        engine.schedule(20, lambda: None)
+        engine.cancel(handle)
+        engine.cancel(handle)
+        assert engine.pending() == 1
+        assert engine.drain() == 1
+
 
 class TestRunUntil:
     def test_stops_when_predicate_true(self, engine: Engine):

@@ -1,0 +1,235 @@
+"""Fast-backend specifics: periodic tasks, skip budgets, seq parity.
+
+The generic engine contract is exercised against both backends through
+the parametrised ``engine`` fixture in ``tests/sim/test_engine.py``;
+this module pins down the behaviours only :class:`FastEngine` has —
+native periodic tasks, the ``fast_forward`` silent-edge machinery, and
+the sequence-number parity that makes its event order bit-identical to
+the reference backend.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import ClockDomain
+from repro.sim.engine import Engine, FastEngine
+from repro.sim.time import mhz
+
+
+class Counter:
+    """Minimal periodic-task owner (the engine bumps ``cycles``)."""
+
+    def __init__(self):
+        self.cycles = 0
+
+
+class TestPeriodicTasks:
+    def test_task_counts_toward_pending(self):
+        engine = FastEngine()
+        task = engine.start_periodic(10, [], Counter())
+        assert engine.pending() == 1
+        engine.stop_periodic(task)
+        assert engine.pending() == 0
+
+    def test_stop_is_idempotent(self):
+        engine = FastEngine()
+        task = engine.start_periodic(10, [], Counter())
+        engine.stop_periodic(task)
+        engine.stop_periodic(task)
+        assert engine.pending() == 0
+
+    def test_non_positive_period_rejected(self):
+        engine = FastEngine()
+        with pytest.raises(SimulationError):
+            engine.start_periodic(0, [], Counter())
+
+    def test_edges_fire_at_multiples_of_period(self):
+        engine = FastEngine()
+        owner = Counter()
+        times = []
+        engine.start_periodic(10, [lambda: times.append(engine.now)], owner)
+        for _ in range(4):
+            engine.step()
+        assert times == [10, 20, 30, 40]
+        assert owner.cycles == 4
+
+    def test_handlers_list_held_by_reference(self):
+        engine = FastEngine()
+        handlers = []
+        hits = []
+        engine.start_periodic(10, handlers, Counter())
+        engine.step()
+        handlers.append(lambda: hits.append(engine.now))
+        engine.step()
+        assert hits == [20]
+
+    def test_handler_stopping_task_halts_stream(self):
+        engine = FastEngine()
+        owner = Counter()
+        task_box = []
+        edges = []
+
+        def handler():
+            edges.append(engine.now)
+            if len(edges) == 2:
+                engine.stop_periodic(task_box[0])
+
+        task_box.append(engine.start_periodic(10, [handler], owner))
+        assert engine.drain() == 2
+        assert edges == [10, 20]
+        assert owner.cycles == 2
+
+
+class TestSeqParity:
+    """The fast backend's (time, seq) order must match the reference.
+
+    Each scenario runs the same program on both backends and asserts
+    the *observable interleaving* (callback order at coincident times)
+    is identical — the property every DMA-completion-vs-clock-edge race
+    in the simulator rests on.
+    """
+
+    @staticmethod
+    def _interleaving(engine, domain_cls=ClockDomain):
+        log = []
+        dom = domain_cls(engine, "d", mhz(100.0))  # 10 000 ps period
+        dom.attach(lambda: log.append(("edge", engine.now)))
+        dom.start()
+        # One-shot scheduled before the domain starts ticking would win
+        # FIFO rank; schedule after, landing exactly on edge 3.
+        engine.schedule_at(30_000, lambda: log.append(("shot", engine.now)))
+        engine.run_until(lambda: len(log) >= 6, max_time_ps=10**9)
+        dom.stop()
+        return log
+
+    def test_coincident_one_shot_orders_like_reference(self):
+        assert self._interleaving(FastEngine()) == self._interleaving(Engine())
+
+    def test_rescheduling_chain_orders_like_reference(self):
+        def chain(engine):
+            log = []
+            dom = ClockDomain(engine, "d", mhz(100.0))
+            dom.attach(lambda: log.append(("edge", engine.now)))
+            dom.start()
+
+            def shot():
+                log.append(("shot", engine.now))
+                if len(log) < 10:
+                    engine.schedule(10_000, shot)  # lands on edges
+
+            engine.schedule(10_000, shot)
+            engine.run_until(lambda: len(log) >= 10, max_time_ps=10**9)
+            dom.stop()
+            return log
+
+        assert chain(FastEngine()) == chain(Engine())
+
+    def test_dual_domain_edge_order_matches_reference(self):
+        def edges(engine):
+            log = []
+            fast_dom = ClockDomain(engine, "fastclk", mhz(100.0))
+            slow_dom = ClockDomain(engine, "slowclk", mhz(25.0))
+            fast_dom.attach(lambda: log.append(("f", engine.now)))
+            slow_dom.attach(lambda: log.append(("s", engine.now)))
+            fast_dom.start()
+            slow_dom.start()
+            engine.run_until(lambda: len(log) >= 20, max_time_ps=10**9)
+            fast_dom.stop()
+            slow_dom.stop()
+            return log
+
+        assert edges(FastEngine()) == edges(Engine())
+
+
+class TestFastForward:
+    def test_skip_budget_consumes_edges_silently(self):
+        engine = FastEngine()
+        owner = Counter()
+        edges = []
+        grants = iter([3, 0, 0, 0, 0])
+
+        def handler():
+            edges.append(engine.now)
+
+        task = engine.start_periodic(
+            10, [handler], owner, fast_forward=lambda: next(grants)
+        )
+        # Edge 1 runs for real and grants 3 silent edges (2..4); edge 5
+        # runs for real again.
+        engine.run_until(lambda: len(edges) >= 2, max_time_ps=10**6)
+        assert edges == [10, 50]
+        assert owner.cycles == 5
+        assert task.skip == 0
+
+    def test_skip_budget_stops_before_one_shot(self):
+        engine = FastEngine()
+        owner = Counter()
+        order = []
+        grants = iter([10] + [0] * 10)
+        engine.start_periodic(
+            10, [lambda: order.append(("edge", engine.now))], owner,
+            fast_forward=lambda: next(grants),
+        )
+        engine.schedule_at(35, lambda: order.append(("shot", engine.now)))
+        engine.run_until(lambda: len(order) >= 3, max_time_ps=10**6)
+        # The 10-edge grant must not leap over the one-shot at 35 ps:
+        # silent edges 20 and 30 are consumed, the shot fires, then the
+        # remaining budget resumes at 40..
+        assert order[:2] == [("edge", 10), ("shot", 35)]
+        assert owner.cycles >= 3
+
+    def test_skip_budget_survives_clock_stop_start(self):
+        engine = FastEngine()
+        dom = ClockDomain(engine, "d", mhz(100.0))
+        edges = []
+        grants = iter([5] + [0] * 20)
+        dom.attach(lambda: edges.append(engine.now))
+        dom.fast_forward = lambda: next(grants)
+        dom.start()
+        engine.run_until(lambda: len(edges) >= 1, max_time_ps=10**9)
+        dom.stop()
+        assert dom._pending_skip == 5
+        dom.start()
+        engine.run_until(lambda: len(edges) >= 2, max_time_ps=10**9)
+        dom.stop()
+        # 5 silent edges after the restart, then the next real one.
+        assert edges == [10_000, 70_000]
+        assert dom.cycles == 7
+
+    def test_step_consumes_one_silent_edge_at_a_time(self):
+        engine = FastEngine()
+        owner = Counter()
+        grants = iter([4] + [0] * 10)
+        engine.start_periodic(10, [], owner, fast_forward=lambda: next(grants))
+        engine.step()  # real edge at 10, grants 4
+        assert (engine.now, owner.cycles) == (10, 1)
+        engine.step()  # one silent edge
+        assert (engine.now, owner.cycles) == (20, 2)
+        engine.step()
+        assert (engine.now, owner.cycles) == (30, 3)
+
+    def test_advance_honours_skip_budget_and_deadline(self):
+        engine = FastEngine()
+        owner = Counter()
+        grants = iter([100] + [0] * 10)
+        engine.start_periodic(10, [], owner, fast_forward=lambda: next(grants))
+        engine.advance(45)
+        # Edges at 10 (real), 20, 30, 40 (silent); never past the
+        # deadline even though the budget would allow it.
+        assert engine.now == 45
+        assert owner.cycles == 4
+
+    def test_deadline_raise_matches_reference(self):
+        def overrun(engine):
+            dom = ClockDomain(engine, "d", mhz(100.0))
+            dom.attach(lambda: None)
+            dom.start()
+            try:
+                engine.run_until(lambda: False, max_time_ps=35_000)
+            except SimulationError:
+                pass
+            cycles = dom.cycles
+            dom.stop()
+            return engine.now, cycles
+
+        assert overrun(FastEngine()) == overrun(Engine())

@@ -136,3 +136,30 @@ class TestBenchDiff:
             {"note": "hi", "ok": True, "n": 3, "xs": [1, "two"], "ys": [1, 2]}
         )
         assert flat == {"n": 3, "ys[0]": 1, "ys[1]": 2}
+
+    def test_wall_prefixed_extra_info_never_gates(self, tmp_path, capsys):
+        # The paired engine benches record a wall-clock speedup ratio;
+        # it drifts run to run like any harness timing, so a change is
+        # reported (next to the wall mean) but must not fail the diff —
+        # not even under --fail-on-wall.
+        base = copy.deepcopy(BASE)
+        base["benchmarks"][0]["extra_info"]["wall_speedup_vs_reference"] = 3.8
+        drifted = copy.deepcopy(base)
+        drifted["benchmarks"][0]["extra_info"]["wall_speedup_vs_reference"] = 3.2
+        a = _write(tmp_path, "a.json", base)
+        b = _write(tmp_path, "b.json", drifted)
+        assert bench_diff.main([a, b]) == 0
+        out = capsys.readouterr().out
+        assert "wall_speedup_vs_reference: 3.800→3.200" in out
+        assert "CHANGED" not in out
+        assert bench_diff.main([a, b, "--fail-on-wall"]) == 0
+
+    def test_wall_prefixed_key_removal_does_not_gate(self, tmp_path, capsys):
+        base = copy.deepcopy(BASE)
+        base["benchmarks"][0]["extra_info"]["wall_speedup_vs_reference"] = 3.8
+        a = _write(tmp_path, "a.json", base)
+        b = _write(tmp_path, "b.json", BASE)
+        assert bench_diff.main([a, b]) == 0
+        out = capsys.readouterr().out
+        assert "wall_speedup_vs_reference: removed" not in out
+        assert "CHANGED" not in out

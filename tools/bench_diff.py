@@ -16,7 +16,12 @@ benchmark row, and they are treated differently:
   counts the bench asserted on.  These are deterministic, so any
   beyond-tolerance change is a behaviour change and fails the diff
   (exit 1) regardless of direction — and a key that *vanishes* is
-  lost gate coverage, which fails the same way.
+  lost gate coverage, which fails the same way.  Keys prefixed
+  ``wall_`` are the exception: they hold wall-clock-derived numbers
+  (e.g. the paired engine benches' ``wall_speedup_vs_reference``),
+  which are as noisy as ``stats.mean`` — they are reported alongside
+  it but never gate, not even under ``--fail-on-wall`` (a ratio has
+  no regression direction a tolerance could classify).
 * ``stats.mean`` — harness **wall time**.  Noisy on shared CI
   runners, so it is reported but gates only with ``--fail-on-wall``
   (where an increase beyond tolerance is the regression).
@@ -107,6 +112,7 @@ def diff_benchmarks(
         )
         base_info = flatten_extra_info(base_row.get("extra_info") or {})
         current_info = flatten_extra_info(current_row.get("extra_info") or {})
+        shared = sorted(base_info.keys() & current_info.keys())
         info_deltas = [
             # Direction-agnostic: extra_info holds deterministic
             # simulated numbers, so any change is a behaviour change.
@@ -114,11 +120,25 @@ def diff_benchmarks(
                 key, base_info[key], current_info[key],
                 rtol=rtol, atol=atol, higher_is_worse=None,
             )
-            for key in sorted(base_info.keys() & current_info.keys())
+            for key in shared
+            if not key.startswith("wall_")
         ]
-        lost_keys = sorted(base_info.keys() - current_info.keys())
-        new_keys = sorted(current_info.keys() - base_info.keys())
-        matched.append((name, wall, info_deltas, lost_keys, new_keys))
+        # wall_-prefixed keys are harness timing (see module docstring):
+        # tracked for the report, never part of the deterministic gate.
+        wall_info = [
+            (key, base_info[key], current_info[key])
+            for key in shared
+            if key.startswith("wall_")
+        ]
+        lost_keys = sorted(
+            key for key in base_info.keys() - current_info.keys()
+            if not key.startswith("wall_")
+        )
+        new_keys = sorted(
+            key for key in current_info.keys() - base_info.keys()
+            if not key.startswith("wall_")
+        )
+        matched.append((name, wall, info_deltas, wall_info, lost_keys, new_keys))
     added = sorted(current.keys() - baseline.keys())
     removed = sorted(baseline.keys() - current.keys())
     return matched, added, removed
@@ -148,7 +168,7 @@ def render_bench_diff(
     rows = []
     info_changed = 0
     wall_regressed = 0
-    for name, wall, info_deltas, lost_keys, new_keys in matched:
+    for name, wall, info_deltas, wall_info, lost_keys, new_keys in matched:
         changed = [d for d in info_deltas if d.changed]
         # A vanished key is lost gate coverage — as loud as a change.
         info_changed += bool(changed or lost_keys)
@@ -159,14 +179,22 @@ def render_bench_diff(
             status = "slower" if not fail_on_wall else "REGRESSION"
         else:
             status = "ok"
+        wall_cell = format_delta_cell(wall, marker="")
+        if wall_info:
+            # Keep the harness-timing ratios next to the wall mean they
+            # share a noise profile with, away from the gated column.
+            wall_cell += "; " + "; ".join(
+                f"{key}: {format_cell(base)}→{format_cell(current)}"
+                for key, base, current in wall_info
+            )
         rows.append([
             # The status column carries the verdict, so the wall cell
             # skips the regression marker.
-            name, format_delta_cell(wall, marker=""),
+            name, wall_cell,
             _info_cell(info_deltas, lost_keys, new_keys), status,
         ])
     table = render_table(
-        ["benchmark", "Δ wall mean (s)", "simulated numbers", "status"],
+        ["benchmark", "Δ wall (s); wall_* info", "simulated numbers", "status"],
         rows,
         fmt,
     )

@@ -15,8 +15,9 @@ Three guarantees over ``README.md`` and every ``docs/*.md``:
 2. **Intra-repo links resolve.**  Every relative markdown link target
    must exist on disk; dead links fail the job.
 3. **Axis-value lists are current.**  Every ``--transfer {...}`` list
-   must match ``repro.exp.spec.TRANSFERS`` and every ``--format
-   {...}`` list must match ``repro.exp.report.FORMATS`` exactly —
+   must match ``repro.exp.spec.TRANSFERS``, every ``--format {...}``
+   list must match ``repro.exp.report.FORMATS``, and every ``--engine
+   {...}`` list must match ``repro.sim.engine.ENGINES`` exactly —
    adding a value without documenting it (or documenting one that
    does not exist) fails the job.
 4. **The CLI flag lists are current.**  Every ``repro sweep`` and
@@ -48,6 +49,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.cli import iter_option_actions  # noqa: E402  (repo import)
 from repro.exp.report import FORMATS  # noqa: E402
 from repro.exp.spec import TRANSFERS  # noqa: E402
+from repro.sim.engine import ENGINES  # noqa: E402
 
 #: Markdown files the checker covers.
 DOC_FILES = ["README.md", *sorted(
@@ -73,6 +75,8 @@ _LINK_RE = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
 _TRANSFER_LIST_RE = re.compile(r"--transfer[ \t]*\n?[ \t]*\{([^}]*)\}")
 #: A documented report-format list: ``--format {md,csv,ascii}``.
 _FORMAT_LIST_RE = re.compile(r"--format[ \t]*\n?[ \t]*\{([^}]*)\}")
+#: A documented engine-backend list: ``--engine {reference,fast}``.
+_ENGINE_LIST_RE = re.compile(r"--engine[ \t]*\n?[ \t]*\{([^}]*)\}")
 #: An inline-code span (fenced blocks are stripped before scanning).
 _CODE_SPAN_RE = re.compile(r"`([^`]+)`")
 #: A ``--flag`` token anywhere inside a span.
@@ -197,6 +201,13 @@ def check_report_formats(path: Path) -> list[str]:
     )
 
 
+def check_engines(path: Path) -> list[str]:
+    """Stale ``--engine {...}`` lists vs :data:`repro.sim.engine.ENGINES`."""
+    return _check_value_list(
+        path, _ENGINE_LIST_RE, ENGINES, "engine-backend"
+    )
+
+
 #: Subcommands whose full flag set must be documented in README.md
 #: (the coverage direction; the stale-mention direction covers every
 #: subcommand automatically).
@@ -283,6 +294,7 @@ def main() -> int:
         failures += check_links(path)
         failures += check_transfer_modes(path)
         failures += check_report_formats(path)
+        failures += check_engines(path)
         if name != "README.md":
             # README gets the full two-direction check below; other
             # docs get the stale-mention direction only.
@@ -291,6 +303,7 @@ def main() -> int:
     for name in AXIS_LIST_FILES:
         failures += check_transfer_modes(REPO_ROOT / name)
         failures += check_report_formats(REPO_ROOT / name)
+        failures += check_engines(REPO_ROOT / name)
     for failure in failures:
         print(f"FAIL {failure}")
     print(
