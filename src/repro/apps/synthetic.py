@@ -1,0 +1,166 @@
+"""Parameterised synthetic access patterns (the design-space probe).
+
+The paper's two kernels (ADPCM, IDEA) stream their data objects almost
+sequentially, so the app axis alone cannot exercise the access-pattern
+space the VIM design actually targets: strided walks, hot working
+sets, phase changes that relocate the hot set mid-execution, and
+read/write mixes that stress the writeback path.  The ``synthetic``
+app fills that gap: a seeded generator produces an explicit word-op
+sequence over a single data object, and both the coprocessor core and
+the software reference replay the *same* sequence, so functional
+verification stays bit-exact.
+
+Every random draw comes from :func:`repro.apps.workloads.rng` — the
+repository's single randomness entry point — so a ``(seed, pattern
+parameters)`` pair regenerates the identical workload on any machine.
+"""
+
+from __future__ import annotations
+
+from repro.apps import workloads as gen
+from repro.errors import ReproError
+
+#: Word size of the coprocessor data port (one op touches one word).
+WORD_BYTES = 4
+
+#: Accumulator seed of the mixing pipeline (arbitrary odd constant,
+#: shared by the hardware core and the software reference).
+ACC_INIT = 0x9E3779B9
+
+#: FNV-1a style multiplier used by :func:`mix_read`.
+_MIX_PRIME = 0x01000193
+
+_WORD_MASK = 0xFFFFFFFF
+
+#: Fraction of the object the hot set spans (1/8 of the words, so a
+#: high-locality pattern fits in DP-RAM while the cold tail faults).
+HOT_SET_DIVISOR = 8
+
+#: Offset decoupling the pattern stream from the dataset stream (same
+#: idiom as ``workloads.idea_key``): both derive from the cell seed,
+#: but never replay each other's draws.
+_PATTERN_SEED_OFFSET = 0x5E9
+
+#: ARM cycles per synthetic op in the pure-software version: an
+#: address computation, a load or store, and the mixing arithmetic.
+SW_CYCLES_PER_OP = 12
+
+
+def mix_read(acc: int, value: int) -> int:
+    """Fold one read *value* into the accumulator (wrapping uint32)."""
+    return ((acc ^ value) * _MIX_PRIME) & _WORD_MASK
+
+
+def write_value(acc: int, addr: int) -> int:
+    """The word stored by a write op at *addr* (wrapping uint32)."""
+    return (acc + addr) & _WORD_MASK
+
+
+def mix_write(acc: int, value: int) -> int:
+    """Advance the accumulator past a write of *value*."""
+    return (acc + value) & _WORD_MASK
+
+
+def _validate(
+    nbytes: int, stride: int, locality_pct: int, read_pct: int, phases: int
+) -> int:
+    if nbytes < WORD_BYTES:
+        raise ReproError(
+            f"synthetic object must hold at least one word, got {nbytes} B"
+        )
+    if stride < 1:
+        raise ReproError(f"stride must be >= 1 words, got {stride}")
+    if not 0 <= locality_pct <= 100:
+        raise ReproError(f"locality must be 0..100 %, got {locality_pct}")
+    if not 0 <= read_pct <= 100:
+        raise ReproError(f"read ratio must be 0..100 %, got {read_pct}")
+    if phases < 1:
+        raise ReproError(f"phase count must be >= 1, got {phases}")
+    return nbytes // WORD_BYTES
+
+
+def access_pattern(
+    nbytes: int,
+    seed: int = 1,
+    stride: int = 1,
+    locality_pct: int = 80,
+    read_pct: int = 70,
+    phases: int = 1,
+) -> list[tuple[bool, int]]:
+    """The seeded op sequence: ``(is_write, byte_addr)`` per word op.
+
+    One op per data word on average (so runtime scales with the input
+    size like the real kernels), split evenly across *phases* phases.
+    Within a phase, a fraction ``locality_pct`` of the ops walk a hot
+    window — one :data:`HOT_SET_DIVISOR`-th of the object, advancing
+    by *stride* words and wrapping — while the rest touch uniformly
+    random words.  Each phase relocates the hot window, modelling a
+    working-set change mid-execution.  ``read_pct`` of the ops read;
+    the others write.
+
+    Parameters
+    ----------
+    nbytes : int
+        Data-object size in bytes (>= one word; a trailing partial
+        word is never touched).
+    seed : int
+        Pattern seed; drawn through :func:`repro.apps.workloads.rng`.
+    stride : int
+        Hot-window walk stride in words (>= 1).
+    locality_pct : int
+        Percentage of ops aimed at the hot window (0..100).
+    read_pct : int
+        Percentage of ops that read (0..100); the rest write.
+    phases : int
+        Number of hot-window relocations (>= 1).
+
+    Returns
+    -------
+    list of (bool, int)
+        ``(is_write, byte_addr)`` tuples, word-aligned addresses.
+    """
+    nwords = _validate(nbytes, stride, locality_pct, read_pct, phases)
+    rng = gen.rng(seed + _PATTERN_SEED_OFFSET)
+    hot_words = max(1, nwords // HOT_SET_DIVISOR)
+    total_ops = nwords
+    ops: list[tuple[bool, int]] = []
+    for phase in range(phases):
+        remaining = total_ops // phases + (1 if phase < total_ops % phases else 0)
+        hot_base = int(rng.integers(0, nwords))
+        cursor = 0
+        for _ in range(remaining):
+            if rng.integers(0, 100) < locality_pct:
+                word = (hot_base + cursor) % nwords
+                cursor = (cursor + stride) % hot_words
+            else:
+                word = int(rng.integers(0, nwords))
+            is_write = rng.integers(0, 100) >= read_pct
+            ops.append((bool(is_write), word * WORD_BYTES))
+    return ops
+
+
+def run_reference(data: bytes, ops: list[tuple[bool, int]]) -> bytes:
+    """Replay *ops* over *data* in software — the verification oracle.
+
+    Applies exactly the op semantics the hardware core implements
+    (:func:`mix_read` / :func:`write_value` / :func:`mix_write`), so
+    the final object contents are bit-comparable with the DP-RAM
+    flush: reads fold the current word into the accumulator, writes
+    store an accumulator-derived word back.
+    """
+    image = bytearray(data)
+    acc = ACC_INIT
+    for is_write, addr in ops:
+        if is_write:
+            value = write_value(acc, addr)
+            image[addr:addr + WORD_BYTES] = value.to_bytes(WORD_BYTES, "little")
+            acc = mix_write(acc, value)
+        else:
+            value = int.from_bytes(image[addr:addr + WORD_BYTES], "little")
+            acc = mix_read(acc, value)
+    return bytes(image)
+
+
+def sw_cycles(num_ops: int) -> int:
+    """ARM cycles for the pure-software replay of *num_ops* ops."""
+    return num_ops * SW_CYCLES_PER_OP

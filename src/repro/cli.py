@@ -42,7 +42,13 @@ from repro.core.soc import PRESETS
 from repro.core.system import System
 from repro.errors import CapacityError, ReproError
 from repro import exp
-from repro.exp.diff import DEFAULT_METRICS, METRICS, diff_caches, render_diff
+from repro.exp.diff import (
+    BANDS,
+    DEFAULT_METRICS,
+    METRICS,
+    diff_caches,
+    render_diff,
+)
 from repro.exp.merge import merge_into
 from repro.exp.report import (
     FORMATS,
@@ -275,7 +281,12 @@ def spec_from_args(args: argparse.Namespace):
         tenants=tuple(args.tenants),
         tenant_mixes=tuple(args.tenant_mix),
         tenant_repeats=tuple(args.tenant_repeats),
+        syn_strides=tuple(args.syn_stride),
+        syn_locality_pcts=tuple(args.syn_locality),
+        syn_read_pcts=tuple(args.syn_read),
+        syn_phases=tuple(args.syn_phases),
         with_typical=args.typical,
+        replicates=args.replicates,
         engine=args.engine,
     )
 
@@ -393,6 +404,7 @@ def _print_sweep(args: argparse.Namespace) -> None:
         print(f"shard {index}/{total}: {len(spec)} of {grid_size} unique cells")
     result = exp.run_sweep(spec, jobs=args.jobs, cache_dir=args.cache)
     multi_tenant = any(r.config.tenants > 1 for r in result.rows)
+    replicated = any(r.config.replicates > 1 for r in result.rows)
     headers = ["cell", "total ms", "hw ms", "SW(DP) ms", "SW(IMU) ms",
                "speedup", "faults", "prefetches"]
     rows = [[r.label, r.vim_ms, r.hw_ms, r.sw_dp_ms, r.sw_imu_ms,
@@ -401,6 +413,13 @@ def _print_sweep(args: argparse.Namespace) -> None:
         headers += ["evictions", "steals"]
         for row, r in zip(rows, result.rows):
             row += [r.evictions, r.steals]
+    if replicated:
+        # The primary columns report replicate 0; surface the
+        # cross-replicate spread next to them (the cv gate's inputs).
+        headers += ["ms mean", "ms CV", "faults mean", "faults CV"]
+        for row, r in zip(rows, result.rows):
+            row += [r.vim_ms_mean, r.vim_ms_cv,
+                    r.page_faults_mean, r.page_faults_cv]
     print(format_table(headers, rows))
     if multi_tenant:
         print()
@@ -442,6 +461,7 @@ def _print_diff(args: argparse.Namespace) -> int:
         metrics=tuple(args.metric) if args.metric else DEFAULT_METRICS,
         rtol=args.rtol,
         atol=args.atol,
+        bands=args.bands,
     )
     print(render_diff(result, fmt=args.format))
     return 1 if result.has_regressions else 0
@@ -559,6 +579,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "apps, e.g. adpcm+idea")
     sweep.add_argument("--tenant-repeats", type=int, nargs="+", default=[1],
                        help="FPGA_EXECUTE calls per tenant axis")
+    sweep.add_argument("--syn-stride", type=int, nargs="+", default=[1],
+                       help="synthetic hot-window stride axis (words; "
+                            "synthetic app cells only)")
+    sweep.add_argument("--syn-locality", type=int, nargs="+", default=[80],
+                       help="synthetic hot-window hit percentage axis "
+                            "(0..100)")
+    sweep.add_argument("--syn-read", type=int, nargs="+", default=[70],
+                       help="synthetic read-op percentage axis (0..100; "
+                            "the rest write)")
+    sweep.add_argument("--syn-phases", type=int, nargs="+", default=[1],
+                       help="synthetic hot-window relocation count axis")
+    sweep.add_argument("--replicates", type=int, default=1,
+                       help="independent replicate seeds per cell (one "
+                            "value, not an axis); above 1 every row gains "
+                            "mean/CV summary columns for repro diff "
+                            "--bands cv")
     sweep.add_argument("--preset", choices=sorted(_SWEEP_PRESETS),
                        default=None,
                        help="run a canonical grid (combining it with "
@@ -619,6 +655,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "is not a change (default: exact)")
     diff.add_argument("--atol", type=float, default=0.0,
                       help="absolute tolerance (default: exact)")
+    diff.add_argument("--bands", default="exact", choices=BANDS,
+                      help="tolerance-band policy: exact applies "
+                           "rtol/atol uniformly (rows aligned by config "
+                           "hash); cv aligns rows seed-blind and widens "
+                           "each replicated metric's band by the "
+                           "baseline's own per-cell CV (default: exact)")
     diff.add_argument("--metric", nargs="+", default=None,
                       choices=sorted(METRICS), metavar="NAME",
                       help="metric columns to compare "

@@ -13,10 +13,12 @@ import numpy as np
 
 from repro.apps import adpcm as adpcm_app
 from repro.apps import idea as idea_app
+from repro.apps import synthetic as synthetic_app
 from repro.apps import vectors as vectors_app
 from repro.apps import workloads as gen
 from repro.coproc.kernels import adpcm as adpcm_core
 from repro.coproc.kernels import idea as idea_core
+from repro.coproc.kernels import synthetic as synthetic_core
 from repro.coproc.kernels import vector_add as vadd_core
 from repro.errors import ReproError
 from repro.core.runner import ObjectSpec, WorkloadSpec
@@ -167,4 +169,66 @@ def vector_add_workload(num_elements: int, seed: int = 1) -> WorkloadSpec:
         sw_cycles=vectors_app.sw_cycles(num_elements),
         reference=reference,
         cell_key=("vadd", num_elements * 4, seed),
+    )
+
+
+def synthetic_workload(
+    input_bytes: int,
+    seed: int = 1,
+    stride: int = 1,
+    locality_pct: int = 80,
+    read_pct: int = 70,
+    phases: int = 1,
+) -> WorkloadSpec:
+    """The parameterised synthetic access-pattern probe.
+
+    One INOUT data object of *input_bytes* seeded random bytes, walked
+    by the op sequence :func:`repro.apps.synthetic.access_pattern`
+    generates from ``(seed, stride, locality_pct, read_pct, phases)``.
+    Because the object is INOUT, its final contents are exactly the
+    initial data with the sequence's writes applied — which the
+    software reference computes without any simulation, keeping
+    verification bit-exact like the real kernels.
+
+    The ``cell_key`` rebuild handle only exists for the default
+    pattern parameters (the ``(app, input_bytes, seed)`` triple cannot
+    carry more); sweep cells always rebuild from their full
+    :class:`~repro.exp.spec.CellConfig` instead, so every parameter
+    combination stays cacheable and multiprocessing-safe there.
+    """
+    if input_bytes <= 0:
+        raise ReproError(f"input size must be positive, got {input_bytes}")
+    ops = synthetic_app.access_pattern(
+        input_bytes,
+        seed=seed,
+        stride=stride,
+        locality_pct=locality_pct,
+        read_pct=read_pct,
+        phases=phases,
+    )
+    data = gen.random_bytes(input_bytes, seed=seed)
+
+    def reference() -> dict[int, bytes]:
+        return {synthetic_core.OBJ_DATA: synthetic_app.run_reference(data, ops)}
+
+    default_pattern = (stride, locality_pct, read_pct, phases) == (1, 80, 70, 1)
+    return WorkloadSpec(
+        name=(
+            f"synthetic-{input_bytes // 1024}KB"
+            f"-s{stride}-l{locality_pct}-r{read_pct}-p{phases}"
+        ),
+        bitstream=synthetic_core.bitstream(ops),
+        objects=(
+            ObjectSpec(
+                synthetic_core.OBJ_DATA,
+                "data",
+                Direction.INOUT,
+                input_bytes,
+                data,
+            ),
+        ),
+        params=(len(ops),),
+        sw_cycles=synthetic_app.sw_cycles(len(ops)),
+        reference=reference,
+        cell_key=("synthetic", input_bytes, seed) if default_pattern else None,
     )

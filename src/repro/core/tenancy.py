@@ -37,6 +37,7 @@ from repro.errors import ReproError
 from repro.hw.dma import INT_DMA_LINE
 from repro.imu.imu import INT_PLD_LINE, Imu
 from repro.os.vim.manager import TransferMode, Vim
+from repro.os.vim.objects import Direction
 from repro.os.vim.prefetch import Prefetcher
 from repro.os.workload import Workload
 from repro.sim.time import to_ms
@@ -171,6 +172,19 @@ def run_tenants(
     """
     if not workloads:
         raise ReproError("run_tenants needs at least one workload")
+    for workload in workloads:
+        if workload.repeats > 1 and any(
+            spec.direction is Direction.INOUT for spec in workload.spec.objects
+        ):
+            # An INOUT object carries exec N's writes into exec N+1, so
+            # the per-execution verify against the one-shot software
+            # reference (and the solo-run timing baseline) is meaningless.
+            raise ReproError(
+                f"workload {workload.spec.name!r} has an INOUT object and "
+                f"repeats={workload.repeats}: repeated execution would feed "
+                "each run the previous run's output, which the software "
+                "reference cannot model; use repeats=1 for INOUT workloads"
+            )
     kernel = system.kernel
     shared = SharedInterface(
         system,

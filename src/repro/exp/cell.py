@@ -16,6 +16,7 @@ from repro.core.drivers import (
     adpcm_encode_workload,
     adpcm_workload,
     idea_workload,
+    synthetic_workload,
     vector_add_workload,
 )
 from repro.core.runner import WorkloadSpec, run_software, run_typical, run_vim
@@ -23,21 +24,50 @@ from repro.core.soc import PRESETS, SocConfig
 from repro.core.system import System
 from repro.core.tenancy import run_tenants
 from repro.errors import CapacityError, ReproError
-from repro.exp.results import CellResult
+from repro.exp.results import REPLICATED_COLUMNS, CellResult, replicate_summary
 from repro.exp.spec import CellConfig
 from repro.os.vim.manager import TransferMode
 from repro.os.vim.prefetch import Prefetcher, SequentialPrefetcher
 from repro.os.workload import Workload
 from repro.sim.time import to_ms
 
-#: app axis value -> workload builder taking (input_bytes, seed).
-_APP_BUILDERS: dict[str, Callable[[int, int], WorkloadSpec]] = {
-    "adpcm": lambda nbytes, seed: adpcm_workload(nbytes, seed=seed),
-    "idea": lambda nbytes, seed: idea_workload(nbytes, seed=seed),
-    "idea-dec": lambda nbytes, seed: idea_workload(nbytes, seed=seed, decrypt=True),
-    "vadd": lambda nbytes, seed: vector_add_workload(nbytes // 4, seed=seed),
-    "adpcm-enc": lambda nbytes, seed: adpcm_encode_workload(nbytes // 2, seed=seed),
+
+def _synthetic_builder(
+    config: CellConfig, nbytes: int, seed: int
+) -> WorkloadSpec:
+    return synthetic_workload(
+        nbytes,
+        seed=seed,
+        stride=config.syn_stride,
+        locality_pct=config.syn_locality_pct,
+        read_pct=config.syn_read_pct,
+        phases=config.syn_phases,
+    )
+
+
+#: app axis value -> workload builder taking (config, input_bytes, seed).
+#: The config carries app-specific pattern axes (only ``synthetic``
+#: reads it today); size and seed stay explicit because tenant slots
+#: derive per-tenant seeds from the one cell config.
+_APP_BUILDERS: dict[str, Callable[[CellConfig, int, int], WorkloadSpec]] = {
+    "adpcm": lambda config, nbytes, seed: adpcm_workload(nbytes, seed=seed),
+    "idea": lambda config, nbytes, seed: idea_workload(nbytes, seed=seed),
+    "idea-dec": lambda config, nbytes, seed: idea_workload(
+        nbytes, seed=seed, decrypt=True
+    ),
+    "vadd": lambda config, nbytes, seed: vector_add_workload(
+        nbytes // 4, seed=seed
+    ),
+    "adpcm-enc": lambda config, nbytes, seed: adpcm_encode_workload(
+        nbytes // 2, seed=seed
+    ),
+    "synthetic": _synthetic_builder,
 }
+
+#: Seed stride between replicates: a prime far larger than any
+#: plausible seed axis, so the derived seed sets of neighbouring base
+#: seeds never collide (``seed + k * stride`` for ``k < replicates``).
+_REPLICATE_SEED_STRIDE = 1_000_003
 
 _TRANSFER_MODES = {
     "double": TransferMode.DOUBLE,
@@ -53,7 +83,7 @@ def build_workload(config: CellConfig) -> WorkloadSpec:
         raise ReproError(
             f"unknown app {config.app!r}; choices: {sorted(_APP_BUILDERS)}"
         )
-    return builder(config.input_bytes, config.seed)
+    return builder(config, config.input_bytes, config.seed)
 
 
 def build_soc(config: CellConfig) -> SocConfig:
@@ -97,7 +127,7 @@ def build_tenant_workloads(config: CellConfig) -> list[Workload]:
             raise ReproError(
                 f"unknown app {app!r}; choices: {sorted(_APP_BUILDERS)}"
             )
-        spec = builder(config.input_bytes, config.seed + index)
+        spec = builder(config, config.input_bytes, config.seed + index)
         workloads.append(
             Workload(
                 spec=spec,
@@ -145,6 +175,14 @@ def run_cell(config: CellConfig, workload: WorkloadSpec | None = None) -> CellRe
     CellResult
         The typed, JSON-stable result row.
     """
+    if config.replicates > 1:
+        if workload is not None:
+            raise ReproError(
+                "a workload override cannot be combined with a "
+                "replicated cell (replicates > 1): replicates rebuild "
+                "their own workloads from derived seeds"
+            )
+        return _run_replicated(config)
     if config.tenants > 1 or config.tenant_repeats > 1:
         # tenants == 1 with repeats > 1 is the *uncontended baseline*
         # of a contention sweep: the same session-per-process executor,
@@ -209,6 +247,52 @@ def run_cell(config: CellConfig, workload: WorkloadSpec | None = None) -> CellRe
         typical_fits=typical_fits,
         tlb_refills=counters.tlb_refills,
         dma_transfers=counters.dma_transfers,
+    )
+
+
+def replicate_seed(config: CellConfig, index: int) -> int:
+    """The dataset seed of replicate *index* of *config*.
+
+    Replicate 0 uses the cell's own seed — so the primary columns of a
+    replicated row agree exactly with the unreplicated run — and later
+    replicates step by :data:`_REPLICATE_SEED_STRIDE`.
+    """
+    if not 0 <= index < config.replicates:
+        raise ReproError(
+            f"replicate index must be in 0..{config.replicates - 1}, "
+            f"got {index}"
+        )
+    return config.seed + index * _REPLICATE_SEED_STRIDE
+
+
+def _run_replicated(config: CellConfig) -> CellResult:
+    """The replicated cell path: N independent seeds, one summary row.
+
+    Each replicate is a full single-shot (or contended) run of the same
+    configuration under a derived seed, executed in replicate order.
+    The returned row carries replicate 0's primary columns under the
+    *replicated* config's key and label, plus the cross-replicate
+    mean/CV summaries that feed ``repro diff --bands cv``.
+    """
+    rows = []
+    for index in range(config.replicates):
+        sub = replace(
+            config, seed=replicate_seed(config, index), replicates=1
+        )
+        rows.append(run_cell(sub))
+    summaries: dict[str, float] = {}
+    for name in REPLICATED_COLUMNS:
+        mean, cv = replicate_summary(
+            [float(getattr(row, name)) for row in rows]
+        )
+        summaries[f"{name}_mean"] = mean
+        summaries[f"{name}_cv"] = cv
+    return replace(
+        rows[0],
+        config=config,
+        key=config.key(),
+        label=config.label(),
+        **summaries,
     )
 
 

@@ -24,6 +24,23 @@ knows its bad direction, so an improvement is a change but never a
 *regression*.  ``repro diff BASELINE CURRENT`` is the command-line
 face (exit 1 on regressions beyond tolerance, 0 otherwise); CI runs
 it between a PR's merged shard cache and the main-branch baseline.
+
+Two banding policies select how the tolerance is derived (``repro
+diff --bands {exact,cv}``):
+
+* ``exact`` (the default) — the hand-picked ``--rtol``/``--atol``
+  applied uniformly, rows aligned by config hash.  Right for
+  deterministic comparisons of the *same* grid (engine equivalence,
+  cache reproducibility).
+* ``cv`` — rows aligned by :func:`~repro.exp.spec.replica_hash`
+  (seed-blind), replicated metrics compared **mean against mean**
+  with a per-cell, per-metric tolerance of
+  :data:`CV_BAND_SIGMA` x the baseline's own CV column on top of
+  ``--rtol``.  Deterministic metrics carry a CV of 0.0, so their band
+  collapses to exact match — regressions cannot hide behind noise
+  that is not there.  Right for comparing runs over *independent
+  seed sets*, where "regression" must mean "outside the noise
+  envelope", not "not byte-identical".
 """
 
 from __future__ import annotations
@@ -40,8 +57,13 @@ from repro.exp.report import (
     format_delta,
     render_table,
 )
-from repro.exp.results import CellResult
-from repro.exp.spec import CACHE_VERSION, grid_fingerprint
+from repro.exp.results import REPLICATED_COLUMNS, CellResult
+from repro.exp.spec import (
+    CACHE_VERSION,
+    grid_fingerprint,
+    replica_fingerprint,
+    replica_hash,
+)
 
 
 # ----------------------------------------------------------------------
@@ -57,9 +79,20 @@ class Metric:
     ----------
     name : str
         Selector and table header.
+    field : str
+        The :class:`~repro.exp.results.CellResult` column the metric
+        reads — the coverage contract: every numeric result column
+        must appear as exactly one metric's field (enforced by
+        ``tests/exp/test_metrics_coverage.py``), so a new column
+        cannot ship without declaring its regression direction.  When
+        the field is one of
+        :data:`~repro.exp.results.REPLICATED_COLUMNS`, ``--bands cv``
+        compares its ``_mean`` column under a tolerance derived from
+        the baseline's ``_cv`` column.
     value : callable
         Extracts the numeric value from a
-        :class:`~repro.exp.results.CellResult`.
+        :class:`~repro.exp.results.CellResult` (``None``-valued
+        optional columns read as 0.0).
     higher_is_worse : bool or None
         Regression direction: ``True`` for times and fault counts,
         ``False`` for speedups and hit rates, ``None`` for counters
@@ -68,33 +101,72 @@ class Metric:
     """
 
     name: str
+    field: str
     value: Callable[[CellResult], float]
     higher_is_worse: bool | None = True
 
 
+def _metric(
+    name: str, field: str, higher_is_worse: bool | None = True
+) -> Metric:
+    """A metric reading *field* directly (None reads as 0.0)."""
+    return Metric(
+        name,
+        field,
+        lambda r: getattr(r, field) if getattr(r, field) is not None else 0.0,
+        higher_is_worse=higher_is_worse,
+    )
+
+
+def _replicated_metrics() -> dict[str, Metric]:
+    """The ``_mean`` / ``_cv`` summary metrics, one pair per entry of
+    :data:`~repro.exp.results.REPLICATED_COLUMNS`.
+
+    A mean column inherits its primary metric's regression direction;
+    a CV column has none (variance moving is worth flagging, but is
+    not by itself a regression).
+    """
+    out: dict[str, Metric] = {}
+    for field in REPLICATED_COLUMNS:
+        direction = False if field == "vim_speedup" else True
+        out[f"{field}_mean"] = _metric(
+            f"{field}_mean", f"{field}_mean", higher_is_worse=direction
+        )
+        out[f"{field}_cv"] = _metric(
+            f"{field}_cv", f"{field}_cv", higher_is_worse=None
+        )
+    return out
+
+
 #: Every metric ``repro diff`` can compare, keyed by selector name.
 METRICS: dict[str, Metric] = {
-    "sw_ms": Metric("sw_ms", lambda r: r.sw_ms),
-    "vim_ms": Metric("vim_ms", lambda r: r.vim_ms),
-    "hw_ms": Metric("hw_ms", lambda r: r.hw_ms),
-    "sw_dp_ms": Metric("sw_dp_ms", lambda r: r.sw_dp_ms),
-    "sw_imu_ms": Metric("sw_imu_ms", lambda r: r.sw_imu_ms),
-    "sw_other_ms": Metric("sw_other_ms", lambda r: r.sw_other_ms),
-    "speedup": Metric("speedup", lambda r: r.vim_speedup, higher_is_worse=False),
-    "faults": Metric("faults", lambda r: r.page_faults),
-    "tlb_refills": Metric("tlb_refills", lambda r: r.tlb_refills),
-    "evictions": Metric("evictions", lambda r: r.evictions),
-    "steals": Metric("steals", lambda r: r.steals),
-    "writebacks": Metric("writebacks", lambda r: r.writebacks),
-    "tlb_hit_rate": Metric(
-        "tlb_hit_rate", lambda r: r.tlb_hit_rate, higher_is_worse=False
+    "sw_ms": _metric("sw_ms", "sw_ms"),
+    "vim_ms": _metric("vim_ms", "vim_ms"),
+    "hw_ms": _metric("hw_ms", "hw_ms"),
+    "sw_dp_ms": _metric("sw_dp_ms", "sw_dp_ms"),
+    "sw_imu_ms": _metric("sw_imu_ms", "sw_imu_ms"),
+    "sw_other_ms": _metric("sw_other_ms", "sw_other_ms"),
+    "speedup": _metric("speedup", "vim_speedup", higher_is_worse=False),
+    "faults": _metric("faults", "page_faults"),
+    "compulsory_loads": _metric("compulsory_loads", "compulsory_loads"),
+    "tlb_refills": _metric("tlb_refills", "tlb_refills"),
+    "evictions": _metric("evictions", "evictions"),
+    "steals": _metric("steals", "steals"),
+    "writebacks": _metric("writebacks", "writebacks"),
+    "bytes_to_dpram": _metric("bytes_to_dpram", "bytes_to_dpram"),
+    "bytes_from_dpram": _metric("bytes_from_dpram", "bytes_from_dpram"),
+    "tlb_hit_rate": _metric(
+        "tlb_hit_rate", "tlb_hit_rate", higher_is_worse=False
     ),
-    "prefetches": Metric(
-        "prefetches", lambda r: r.prefetches, higher_is_worse=None
+    "typical_ms": _metric("typical_ms", "typical_ms"),
+    "typical_speedup": _metric(
+        "typical_speedup", "typical_speedup", higher_is_worse=False
     ),
-    "dma_transfers": Metric(
-        "dma_transfers", lambda r: r.dma_transfers, higher_is_worse=None
+    "prefetches": _metric("prefetches", "prefetches", higher_is_worse=None),
+    "dma_transfers": _metric(
+        "dma_transfers", "dma_transfers", higher_is_worse=None
     ),
+    **_replicated_metrics(),
 }
 
 #: The default comparison set: the paper's time decomposition, the
@@ -102,6 +174,17 @@ METRICS: dict[str, Metric] = {
 DEFAULT_METRICS = (
     "vim_ms", "hw_ms", "sw_dp_ms", "sw_imu_ms", "speedup", "faults",
 )
+
+#: Tolerance-band policies of ``repro diff --bands``.
+BANDS = ("exact", "cv")
+
+#: Band half-width in baseline CVs: a current mean within
+#: ``CV_BAND_SIGMA`` sample-CVs of the baseline mean is noise, outside
+#: is a change.  Three sigma of a normal leaves ~0.3 % false alarms
+#: per metric; with the deliberately seed-sensitive synthetic cells
+#: the replicate spread is the honest noise floor, so the classic
+#: control-chart width carries over.
+CV_BAND_SIGMA = 3.0
 
 
 def within_tolerance(base: float, current: float, rtol: float, atol: float) -> bool:
@@ -172,6 +255,45 @@ def scalar_delta(
         current=current,
         changed=changed,
         regressed=changed and worse,
+    )
+
+
+def banded_delta(
+    metric: Metric,
+    base_row: CellResult,
+    current_row: CellResult,
+    rtol: float = 0.0,
+    atol: float = 0.0,
+) -> MetricDelta:
+    """Classify one metric of one cell under the ``cv`` band policy.
+
+    For metrics whose field carries cross-replicate summaries
+    (:data:`~repro.exp.results.REPLICATED_COLUMNS`), the comparison is
+    **mean against mean** and the relative tolerance widens by
+    :data:`CV_BAND_SIGMA` times the *baseline's* CV for that cell and
+    metric — the variance-derived band of the cell_OS protocol.  A
+    deterministic metric has CV 0.0, so its band collapses to the
+    passed ``rtol``/``atol`` (exact by default).  Metrics without
+    summaries compare their primary values under the passed tolerance
+    unchanged.
+    """
+    if metric.field in REPLICATED_COLUMNS:
+        base = getattr(base_row, f"{metric.field}_mean")
+        current = getattr(current_row, f"{metric.field}_mean")
+        band_rtol = rtol + CV_BAND_SIGMA * getattr(
+            base_row, f"{metric.field}_cv"
+        )
+    else:
+        base = metric.value(base_row)
+        current = metric.value(current_row)
+        band_rtol = rtol
+    return scalar_delta(
+        metric.name,
+        base,
+        current,
+        rtol=band_rtol,
+        atol=atol,
+        higher_is_worse=metric.higher_is_worse,
     )
 
 
@@ -303,6 +425,11 @@ class DiffResult:
         The compared metric selectors, in column order.
     rtol, atol : float
         The tolerance the classification used.
+    bands : str
+        The band policy (:data:`BANDS`): ``exact`` aligned rows by
+        config hash and applied rtol/atol uniformly; ``cv`` aligned
+        rows seed-blind and widened each replicated metric's band by
+        the baseline's CV.
     """
 
     cells: tuple[CellDiff, ...]
@@ -313,6 +440,7 @@ class DiffResult:
     metrics: tuple[str, ...]
     rtol: float
     atol: float
+    bands: str = "exact"
 
     @property
     def changed_cells(self) -> tuple[CellDiff, ...]:
@@ -329,10 +457,16 @@ class DiffResult:
 
     def fingerprints(self) -> tuple[str, str]:
         """Grid fingerprints of (baseline, current) — equal iff the
-        two runs cover the same configurations."""
+        two runs cover the same configurations.  Under ``cv`` bands
+        the fingerprint is seed-blind
+        (:func:`~repro.exp.spec.replica_fingerprint`): disjoint seed
+        sets over the same design space are *meant* to match."""
+        fingerprint = (
+            replica_fingerprint if self.bands == "cv" else grid_fingerprint
+        )
         return (
-            grid_fingerprint(r.config for r in self.baseline.rows.values()),
-            grid_fingerprint(r.config for r in self.current.rows.values()),
+            fingerprint(r.config for r in self.baseline.rows.values()),
+            fingerprint(r.config for r in self.current.rows.values()),
         )
 
 
@@ -345,14 +479,41 @@ def _resolve_metrics(names) -> list[Metric]:
     return [METRICS[name] for name in names]
 
 
+def _replica_keyed(side: DiffSide) -> dict[str, CellResult]:
+    """Re-key one side's rows by seed-blind replica hash.
+
+    Raises
+    ------
+    ReproError
+        If two rows share a replica hash — the side swept a seed
+        *axis*, which ``--bands cv`` cannot align (within one run,
+        replication belongs in ``--replicates``, not in ``--seed``).
+    """
+    rows: dict[str, CellResult] = {}
+    for result in side.rows.values():
+        key = replica_hash(result.config)
+        clash = rows.get(key)
+        if clash is not None:
+            raise ReproError(
+                f"{side.origin} holds two rows differing only by seed "
+                f"(seeds {clash.config.seed} and {result.config.seed} of "
+                f"replica {key}): --bands cv aligns cells across seed "
+                "sets, so within one run replication must come from "
+                "--replicates, not a seed axis"
+            )
+        rows[key] = result
+    return rows
+
+
 def diff_rows(
     baseline: DiffSide,
     current: DiffSide,
     metrics=DEFAULT_METRICS,
     rtol: float = 0.0,
     atol: float = 0.0,
+    bands: str = "exact",
 ) -> DiffResult:
-    """Align two loaded sides by config hash and classify every metric.
+    """Align two loaded sides and classify every metric of every match.
 
     Parameters
     ----------
@@ -365,34 +526,57 @@ def diff_rows(
         ``atol + rtol * |base|`` is neither a change nor a regression.
         The defaults are exact — the simulator is deterministic, so
         any drift is a real behaviour change.
+    bands : str
+        Band policy from :data:`BANDS`.  ``exact`` aligns rows by
+        config hash and applies rtol/atol uniformly
+        (:func:`scalar_delta`); ``cv`` aligns rows seed-blind by
+        :func:`~repro.exp.spec.replica_hash` and classifies each
+        metric through :func:`banded_delta`, widening replicated
+        metrics by the baseline's own per-cell CV.
 
     Raises
     ------
     ReproError
-        On unknown metric names or negative tolerances.
+        On unknown metric names, negative tolerances, an unknown band
+        policy, or (``cv`` only) a side whose rows differ only by
+        seed.
     """
     if rtol < 0 or atol < 0:
         raise ReproError(f"tolerances must be >= 0, got rtol={rtol} atol={atol}")
+    if bands not in BANDS:
+        raise ReproError(f"unknown band policy {bands!r}; choices: {BANDS}")
     selected = _resolve_metrics(metrics)
+    if bands == "cv":
+        base_rows = _replica_keyed(baseline)
+        current_rows = _replica_keyed(current)
+    else:
+        base_rows = baseline.rows
+        current_rows = current.rows
     matched = sorted(
-        baseline.rows.keys() & current.rows.keys(),
-        key=lambda key: (current.rows[key].label, key),
+        base_rows.keys() & current_rows.keys(),
+        key=lambda key: (current_rows[key].label, key),
     )
     cells = []
     for key in matched:
-        base_row = baseline.rows[key]
-        current_row = current.rows[key]
-        deltas = tuple(
-            scalar_delta(
-                metric.name,
-                metric.value(base_row),
-                metric.value(current_row),
-                rtol=rtol,
-                atol=atol,
-                higher_is_worse=metric.higher_is_worse,
+        base_row = base_rows[key]
+        current_row = current_rows[key]
+        if bands == "cv":
+            deltas = tuple(
+                banded_delta(metric, base_row, current_row, rtol=rtol, atol=atol)
+                for metric in selected
             )
-            for metric in selected
-        )
+        else:
+            deltas = tuple(
+                scalar_delta(
+                    metric.name,
+                    metric.value(base_row),
+                    metric.value(current_row),
+                    rtol=rtol,
+                    atol=atol,
+                    higher_is_worse=metric.higher_is_worse,
+                )
+                for metric in selected
+            )
         cells.append(CellDiff(
             key=key,
             label=current_row.label,
@@ -401,11 +585,11 @@ def diff_rows(
             deltas=deltas,
         ))
     added = tuple(sorted(
-        (row for key, row in current.rows.items() if key not in baseline.rows),
+        (row for key, row in current_rows.items() if key not in base_rows),
         key=lambda r: (r.label, r.key),
     ))
     removed = tuple(sorted(
-        (row for key, row in baseline.rows.items() if key not in current.rows),
+        (row for key, row in base_rows.items() if key not in current_rows),
         key=lambda r: (r.label, r.key),
     ))
     return DiffResult(
@@ -417,6 +601,7 @@ def diff_rows(
         metrics=tuple(m.name for m in selected),
         rtol=rtol,
         atol=atol,
+        bands=bands,
     )
 
 
@@ -426,6 +611,7 @@ def diff_caches(
     metrics=DEFAULT_METRICS,
     rtol: float = 0.0,
     atol: float = 0.0,
+    bands: str = "exact",
 ) -> DiffResult:
     """Load and diff two result stores — the ``repro diff`` path.
 
@@ -438,6 +624,7 @@ def diff_caches(
         metrics=metrics,
         rtol=rtol,
         atol=atol,
+        bands=bands,
     )
 
 
@@ -522,12 +709,18 @@ def render_diff(result: DiffResult, fmt: str = "ascii", bars: bool = True) -> st
     )
     if fmt == "csv":
         return table
+    tolerance = f"rtol={result.rtol:g}, atol={result.atol:g}"
+    if result.bands != "exact":
+        tolerance += (
+            f", bands={result.bands} "
+            f"(+{CV_BAND_SIGMA:g} baseline CVs on replicated metrics)"
+        )
     summary = (
         f"{len(result.cells)} cell(s) compared: "
         f"{len(result.changed_cells)} changed, "
         f"{len(result.regressions)} regression(s); "
         f"{len(result.added)} added, {len(result.removed)} removed "
-        f"(rtol={result.rtol:g}, atol={result.atol:g})"
+        f"({tolerance})"
     )
     lines = [table, "", summary]
     if result.added:

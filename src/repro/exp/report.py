@@ -37,7 +37,7 @@ from typing import Callable
 
 from repro.errors import ReproError
 from repro.exp.cache import iter_entries
-from repro.exp.results import CellResult
+from repro.exp.results import REPLICATED_COLUMNS, CellResult
 from repro.exp.spec import CellConfig
 
 #: Output formats ``render_report`` / ``render_table`` understand
@@ -318,12 +318,47 @@ COLUMNS: dict[str, Column] = {
     ),
 }
 
+# The cross-replicate summary columns, one mean/CV pair per entry of
+# results.REPLICATED_COLUMNS (e.g. "vim_ms_mean", "vim_ms_cv").
+for _field in REPLICATED_COLUMNS:
+    COLUMNS[f"{_field}_mean"] = Column(
+        f"{_field} mean",
+        lambda r, f=_field: getattr(r, f"{f}_mean"),
+    )
+    COLUMNS[f"{_field}_cv"] = Column(
+        f"{_field} CV",
+        lambda r, f=_field: getattr(r, f"{f}_cv"),
+    )
+del _field
+
 #: The default ``--report`` column set: the SW(DP)/SW(IMU) time
 #: decomposition plus the speedup-over-software column of Figures 8/9.
 DEFAULT_COLUMNS = (
     "cell", "sw_ms", "vim_ms", "hw_ms", "sw_dp_ms", "sw_imu_ms",
     "sw_imu_pct", "speedup", "faults",
 )
+
+#: The columns auto-appended to :data:`DEFAULT_COLUMNS` when a report
+#: covers replicated rows (any ``config.replicates > 1``), in
+#: :data:`~repro.exp.results.REPLICATED_COLUMNS` order.
+REPLICATED_REPORT_COLUMNS = tuple(
+    f"{field}_{stat}"
+    for field in REPLICATED_COLUMNS
+    for stat in ("mean", "cv")
+)
+
+
+def default_columns(rows) -> tuple[str, ...]:
+    """The column set a report of *rows* renders when none is chosen.
+
+    :data:`DEFAULT_COLUMNS`, plus the mean/CV summary columns when any
+    row was replicated — so an unreplicated report stays byte-identical
+    to the pre-replication renderer, and a replicated one surfaces its
+    spread without being asked.
+    """
+    if any(row.config.replicates > 1 for row in rows):
+        return DEFAULT_COLUMNS + REPLICATED_REPORT_COLUMNS
+    return DEFAULT_COLUMNS
 
 
 def group_axes() -> tuple[str, ...]:
@@ -441,7 +476,7 @@ def render_report(
     rows,
     group_by: tuple[str, ...] = (),
     fmt: str = "md",
-    columns=DEFAULT_COLUMNS,
+    columns=None,
     baseline=None,
 ) -> str:
     """Render *rows* as grouped tables.
@@ -458,8 +493,10 @@ def render_report(
         one flat table with the group axes as leading columns.
     fmt : str
         One of :data:`FORMATS`.
-    columns : sequence of str
-        Column selectors from :data:`COLUMNS`.
+    columns : sequence of str, optional
+        Column selectors from :data:`COLUMNS`; ``None`` (the default)
+        picks :func:`default_columns` — the classic set, widened by
+        the mean/CV summaries when any row is replicated.
     baseline : iterable of CellResult, optional
         A second run's rows (``--baseline DIR``).  Every numeric cell
         is annotated with its delta against the baseline row of the
@@ -488,8 +525,10 @@ def render_report(
         raise ReproError(
             f"unknown group-by axis/axes {bad}; choices: {known_axes}"
         )
-    selected = _resolve_columns(columns)
     ordered = sorted(rows, key=lambda r: (r.label, r.key))
+    if columns is None:
+        columns = default_columns(ordered)
+    selected = _resolve_columns(columns)
     headers = [column.header for _, column in selected]
     base_by_key = (
         None if baseline is None else {row.key: row for row in baseline}
@@ -559,7 +598,7 @@ def report_from_cache(
     cache_dir: str | Path,
     group_by: tuple[str, ...] = (),
     fmt: str = "md",
-    columns=DEFAULT_COLUMNS,
+    columns=None,
     strict: bool = True,
     baseline_dir: str | Path | None = None,
 ) -> str:

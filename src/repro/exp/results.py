@@ -26,6 +26,19 @@ _TUPLE_FIELDS = (
     "tenant_pages_lost",
 )
 
+#: The primary columns that grow cross-replicate ``<name>_mean`` /
+#: ``<name>_cv`` summaries when ``config.replicates > 1``.  Order
+#: matters: reports and the CLI print the derived columns in this
+#: order.
+REPLICATED_COLUMNS = (
+    "vim_ms",
+    "hw_ms",
+    "sw_dp_ms",
+    "sw_imu_ms",
+    "vim_speedup",
+    "page_faults",
+)
+
 
 @dataclass(frozen=True)
 class CellResult:
@@ -74,6 +87,18 @@ class CellResult:
         ``tenant_steals[i]`` counts evictions tenant *i* inflicted on
         neighbours, ``tenant_pages_lost[i]`` its own resident pages
         evicted by neighbours.
+    vim_ms_mean, ..., page_faults_cv : float or None
+        Cross-replicate summaries of the :data:`REPLICATED_COLUMNS`
+        when ``config.replicates > 1``: ``<name>_mean`` is the
+        arithmetic mean over the replicate runs, ``<name>_cv`` the
+        coefficient of variation (sample standard deviation over the
+        absolute mean; 0.0 when the mean is zero or there is a single
+        replicate).  The primary columns always report replicate 0
+        (the cell's own ``seed``), so an unreplicated run and
+        replicate 0 of a replicated run agree exactly.  When left
+        ``None`` at construction they are autofilled from the primary
+        columns with a CV of 0.0 — the degenerate one-replicate
+        summary — so every row carries the full schema.
     """
 
     config: CellConfig
@@ -107,6 +132,30 @@ class CellResult:
     tenant_evictions: tuple[int, ...] = ()
     tenant_steals: tuple[int, ...] = ()
     tenant_pages_lost: tuple[int, ...] = ()
+    vim_ms_mean: float | None = None
+    vim_ms_cv: float | None = None
+    hw_ms_mean: float | None = None
+    hw_ms_cv: float | None = None
+    sw_dp_ms_mean: float | None = None
+    sw_dp_ms_cv: float | None = None
+    sw_imu_ms_mean: float | None = None
+    sw_imu_ms_cv: float | None = None
+    vim_speedup_mean: float | None = None
+    vim_speedup_cv: float | None = None
+    page_faults_mean: float | None = None
+    page_faults_cv: float | None = None
+
+    def __post_init__(self) -> None:
+        # Autofill the cross-replicate summaries with the degenerate
+        # one-replicate values so every row carries the full schema and
+        # single-shot constructors stay unchanged.
+        for name in REPLICATED_COLUMNS:
+            if getattr(self, f"{name}_mean") is None:
+                object.__setattr__(
+                    self, f"{name}_mean", float(getattr(self, name))
+                )
+            if getattr(self, f"{name}_cv") is None:
+                object.__setattr__(self, f"{name}_cv", 0.0)
 
     @property
     def sw_imu_fraction(self) -> float:
@@ -156,3 +205,31 @@ class CellResult:
             if name in payload:
                 payload[name] = tuple(payload[name])
         return cls(**payload)
+
+
+def replicate_summary(values: list[float]) -> tuple[float, float]:
+    """Mean and coefficient of variation of one metric's replicates.
+
+    The CV is the *sample* standard deviation (``ddof=1`` — the
+    replicates are a sample of the seed population, not the
+    population) over the absolute mean; it is defined as 0.0 when the
+    mean is zero or there is a single value, so deterministic metrics
+    yield exact tolerance bands downstream.
+
+    Parameters
+    ----------
+    values : list of float
+        One value per replicate, in replicate order (non-empty).
+
+    Returns
+    -------
+    (float, float)
+        ``(mean, cv)``.
+    """
+    if not values:
+        raise ReproError("replicate summary needs at least one value")
+    mean = sum(values) / len(values)
+    if len(values) == 1 or mean == 0.0:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    return mean, variance ** 0.5 / abs(mean)

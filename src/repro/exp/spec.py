@@ -18,15 +18,13 @@ from repro.errors import ReproError
 from repro.sim.engine import ENGINES
 
 #: Bump when CellResult semantics change, so stale caches miss.
-#: (4: the ``engine`` backend field joins the cell config.  It is
-#: excluded from the config hash — both backends must produce
-#: byte-identical results, and shared hashes are what lets ``repro
-#: diff`` align a reference cache against a fast one — but cached rows
-#: now record which backend priced them, so old rows must miss.)
-CACHE_VERSION = 4
+#: (5: the synthetic-workload pattern axes (``syn_*``) and the
+#: ``replicates`` field join the cell config, and every result row
+#: grows cross-replicate mean/CV columns — old rows must miss.)
+CACHE_VERSION = 5
 
 #: Applications the cell runner knows how to build (see exp.cell).
-APPS = ("adpcm", "idea", "idea-dec", "vadd", "adpcm-enc")
+APPS = ("adpcm", "idea", "idea-dec", "vadd", "adpcm-enc", "synthetic")
 
 #: Transfer-mode axis values (maps onto os.vim.transfer.TransferMode):
 #: two CPU copies (measured), one (announced), or DMA descriptors.
@@ -93,6 +91,26 @@ class CellConfig:
     tenant_repeats : int
         FPGA_EXECUTE calls per tenant; with >= 2, a tenant re-touches
         pages a neighbour may have stolen between its turns.
+    syn_stride, syn_locality_pct, syn_read_pct, syn_phases : int
+        The ``synthetic`` app's access-pattern axes (hot-window walk
+        stride in words, percentage of ops aimed at the hot window,
+        percentage of ops that read, and the number of hot-window
+        relocations — see :func:`repro.apps.synthetic.access_pattern`).
+        For cells in which no tenant runs the synthetic app, the
+        pattern is meaningless and the four fields are canonicalised
+        back to their defaults (after validation), so equivalent
+        non-synthetic configs share one cache hash — the same rule as
+        ``tenant_mix`` for solo cells.
+    replicates : int
+        Independent replicate seeds the cell is executed with.  1 (the
+        default) is the classic single-shot cell.  Above 1, the cell
+        runs once per derived seed (replicate 0 uses ``seed`` itself),
+        its primary columns report replicate 0, and the ``*_mean`` /
+        ``*_cv`` columns of :class:`~repro.exp.results.CellResult`
+        summarise the spread — the basis of the variance-derived
+        tolerance bands of ``repro diff --bands cv``.  Included in the
+        config hash: a replicated cell measures something a single
+        run does not.
     engine : str
         Simulation kernel backend, one of
         :data:`repro.sim.engine.ENGINES`.  **Not an axis of the design
@@ -120,6 +138,11 @@ class CellConfig:
     tenants: int = 1
     tenant_mix: str = "same"
     tenant_repeats: int = 1
+    syn_stride: int = 1
+    syn_locality_pct: int = 80
+    syn_read_pct: int = 70
+    syn_phases: int = 1
+    replicates: int = 1
     engine: str = "reference"
 
     def __post_init__(self) -> None:
@@ -172,6 +195,37 @@ class CellConfig:
                 # A mix is meaningless with one tenant; canonicalise so
                 # equivalent configs share one cache hash and label.
                 object.__setattr__(self, "tenant_mix", "same")
+        if self.syn_stride < 1:
+            raise ReproError(
+                f"synthetic stride must be >= 1 words, got {self.syn_stride}"
+            )
+        if not 0 <= self.syn_locality_pct <= 100:
+            raise ReproError(
+                f"synthetic locality must be 0..100 %, got "
+                f"{self.syn_locality_pct}"
+            )
+        if not 0 <= self.syn_read_pct <= 100:
+            raise ReproError(
+                f"synthetic read ratio must be 0..100 %, got "
+                f"{self.syn_read_pct}"
+            )
+        if self.syn_phases < 1:
+            raise ReproError(
+                f"synthetic phase count must be >= 1, got {self.syn_phases}"
+            )
+        if "synthetic" not in (self.app, *self.tenant_mix.split("+")):
+            # No tenant runs the synthetic app, so the pattern fields
+            # are meaningless; canonicalise (after validation) so
+            # equivalent non-synthetic configs share one cache hash —
+            # the same rule as tenant_mix for solo cells.
+            object.__setattr__(self, "syn_stride", 1)
+            object.__setattr__(self, "syn_locality_pct", 80)
+            object.__setattr__(self, "syn_read_pct", 70)
+            object.__setattr__(self, "syn_phases", 1)
+        if self.replicates < 1:
+            raise ReproError(
+                f"replicates must be >= 1, got {self.replicates}"
+            )
         if self.with_typical and (self.tenants > 1 or self.tenant_repeats > 1):
             raise ReproError(
                 "with_typical is incompatible with the multi-tenant cell "
@@ -212,6 +266,11 @@ class CellConfig:
             ("tenants", f"x{self.tenants}"),
             ("tenant_mix", f"mix-{self.tenant_mix}"),
             ("tenant_repeats", f"rep{self.tenant_repeats}"),
+            ("syn_stride", f"stride{self.syn_stride}"),
+            ("syn_locality_pct", f"loc{self.syn_locality_pct}"),
+            ("syn_read_pct", f"rd{self.syn_read_pct}"),
+            ("syn_phases", f"ph{self.syn_phases}"),
+            ("replicates", f"n{self.replicates}"),
         ):
             if getattr(self, name) != getattr(default, name):
                 parts.append(text)
@@ -243,6 +302,24 @@ def config_hash(config: CellConfig) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
 
+def replica_hash(config: CellConfig) -> str:
+    """A 16-hex-digit digest of *config* that is blind to the seed.
+
+    Two runs of the same grid with disjoint seed sets produce rows
+    whose :func:`config_hash` keys never collide (the seed is part of
+    the cache identity).  ``repro diff --bands cv`` still has to pair
+    those rows up: this digest drops ``seed`` (and ``engine``, like
+    :func:`config_hash`) so replicate families align across seed sets
+    while every other axis still separates rows.
+    """
+    config_dict = config.to_dict()
+    config_dict.pop("engine", None)
+    config_dict.pop("seed", None)
+    payload = {"version": CACHE_VERSION, "replica": config_dict}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
 def grid_fingerprint(cells) -> str:
     """A 12-hex-digit identity of *which* configurations a grid holds.
 
@@ -270,13 +347,26 @@ def grid_fingerprint(cells) -> str:
     return digest.hexdigest()[:12]
 
 
+def replica_fingerprint(cells) -> str:
+    """The seed-blind sibling of :func:`grid_fingerprint`.
+
+    Computed over sorted :func:`replica_hash` digests, so two grids
+    fingerprint equal exactly when they cover the same design space
+    *up to seeds* — the identity ``repro diff --bands cv`` compares,
+    where the whole point is that the two runs used different seeds.
+    """
+    keys = sorted({replica_hash(cell) for cell in cells})
+    digest = hashlib.sha256("\n".join(keys).encode("ascii"))
+    return digest.hexdigest()[:12]
+
+
 @dataclass(frozen=True)
 class SweepSpec:
     """A declarative run grid: the cartesian product of axis values.
 
     Each field is one *axis*: a tuple of values for the matching
     :class:`CellConfig` field.  Axis order in :meth:`expand` is fixed
-    (``apps`` outermost, ``tenant_repeats`` innermost), so the same
+    (``apps`` outermost, ``syn_phases`` innermost), so the same
     spec always yields the same cell sequence — the property that makes
     ``--jobs N`` output byte-identical to serial execution.
 
@@ -290,9 +380,19 @@ class SweepSpec:
     tenants, tenant_mixes, tenant_repeats : tuple
         The multi-process contention axes (tenant count, app mix per
         tenant, FPGA_EXECUTE calls per tenant).
+    syn_strides, syn_locality_pcts, syn_read_pcts, syn_phases : tuple
+        The ``synthetic`` app's access-pattern axes; only meaningful
+        for cells in which some tenant runs the synthetic app (other
+        cells canonicalise them away, see :class:`CellConfig`).
     with_typical : bool
         Applied to every cell (not an axis): also run the typical
         coprocessor version where it fits.
+    replicates : int
+        Applied to every cell (not an axis): independent replicate
+        seeds each cell runs with (``repro sweep --replicates N``).
+        Deliberately a whole-spec knob — mixing replicated and
+        unreplicated rows in one cache would leave ``repro diff
+        --bands cv`` without bands for half the grid.
     engine : str
         Applied to every cell (not an axis): the simulation kernel
         backend, one of :data:`repro.sim.engine.ENGINES`.  Deliberately
@@ -325,7 +425,12 @@ class SweepSpec:
     tenants: tuple[int, ...] = (1,)
     tenant_mixes: tuple[str, ...] = ("same",)
     tenant_repeats: tuple[int, ...] = (1,)
+    syn_strides: tuple[int, ...] = (1,)
+    syn_locality_pcts: tuple[int, ...] = (80,)
+    syn_read_pcts: tuple[int, ...] = (70,)
+    syn_phases: tuple[int, ...] = (1,)
     with_typical: bool = False
+    replicates: int = 1
     engine: str = "reference"
 
     def expand(self) -> list[CellConfig]:
@@ -341,12 +446,15 @@ class SweepSpec:
         for (
             app, nbytes, seed, soc, page, dpram, policy, transfer,
             prefetch, depth, tlb, pipe, cycles, ntenants, mix, repeats,
+            stride, locality, read_pct, phases,
         ) in itertools.product(
             self.apps, self.input_bytes, self.seeds, self.socs,
             self.page_bytes, self.dpram_bytes, self.policies,
             self.transfers, self.prefetches, self.prefetch_depths,
             self.tlb_capacities, self.pipelined, self.access_cycles,
             self.tenants, self.tenant_mixes, self.tenant_repeats,
+            self.syn_strides, self.syn_locality_pcts,
+            self.syn_read_pcts, self.syn_phases,
         ):
             cells.append(
                 CellConfig(
@@ -367,6 +475,11 @@ class SweepSpec:
                     tenants=ntenants,
                     tenant_mix=mix,
                     tenant_repeats=repeats,
+                    syn_stride=stride,
+                    syn_locality_pct=locality,
+                    syn_read_pct=read_pct,
+                    syn_phases=phases,
+                    replicates=self.replicates,
                     engine=self.engine,
                 )
             )
@@ -381,6 +494,8 @@ class SweepSpec:
             self.transfers, self.prefetches, self.prefetch_depths,
             self.tlb_capacities, self.pipelined, self.access_cycles,
             self.tenants, self.tenant_mixes, self.tenant_repeats,
+            self.syn_strides, self.syn_locality_pcts,
+            self.syn_read_pcts, self.syn_phases,
         )
         size = 1
         for axis in axes:

@@ -16,9 +16,10 @@ Three guarantees over ``README.md`` and every ``docs/*.md``:
    must exist on disk; dead links fail the job.
 3. **Axis-value lists are current.**  Every ``--transfer {...}`` list
    must match ``repro.exp.spec.TRANSFERS``, every ``--format {...}``
-   list must match ``repro.exp.report.FORMATS``, and every ``--engine
-   {...}`` list must match ``repro.sim.engine.ENGINES`` exactly —
-   adding a value without documenting it (or documenting one that
+   list must match ``repro.exp.report.FORMATS``, every ``--engine
+   {...}`` list must match ``repro.sim.engine.ENGINES``, and every
+   ``--bands {...}`` list must match ``repro.exp.diff.BANDS`` exactly
+   — adding a value without documenting it (or documenting one that
    does not exist) fails the job.
 4. **The CLI flag lists are current.**  Every ``repro sweep`` and
    ``repro diff`` option the parser defines (``--shard``,
@@ -47,6 +48,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.cli import iter_option_actions  # noqa: E402  (repo import)
+from repro.exp.diff import BANDS  # noqa: E402
 from repro.exp.report import FORMATS  # noqa: E402
 from repro.exp.spec import TRANSFERS  # noqa: E402
 from repro.sim.engine import ENGINES  # noqa: E402
@@ -77,6 +79,8 @@ _TRANSFER_LIST_RE = re.compile(r"--transfer[ \t]*\n?[ \t]*\{([^}]*)\}")
 _FORMAT_LIST_RE = re.compile(r"--format[ \t]*\n?[ \t]*\{([^}]*)\}")
 #: A documented engine-backend list: ``--engine {reference,fast}``.
 _ENGINE_LIST_RE = re.compile(r"--engine[ \t]*\n?[ \t]*\{([^}]*)\}")
+#: A documented tolerance-band list: ``--bands {exact,cv}``.
+_BANDS_LIST_RE = re.compile(r"--bands[ \t]*\n?[ \t]*\{([^}]*)\}")
 #: An inline-code span (fenced blocks are stripped before scanning).
 _CODE_SPAN_RE = re.compile(r"`([^`]+)`")
 #: A ``--flag`` token anywhere inside a span.
@@ -208,6 +212,13 @@ def check_engines(path: Path) -> list[str]:
     )
 
 
+def check_bands(path: Path) -> list[str]:
+    """Stale ``--bands {...}`` lists vs :data:`repro.exp.diff.BANDS`."""
+    return _check_value_list(
+        path, _BANDS_LIST_RE, BANDS, "tolerance-band"
+    )
+
+
 #: Subcommands whose full flag set must be documented in README.md
 #: (the coverage direction; the stale-mention direction covers every
 #: subcommand automatically).
@@ -295,6 +306,7 @@ def main() -> int:
         failures += check_transfer_modes(path)
         failures += check_report_formats(path)
         failures += check_engines(path)
+        failures += check_bands(path)
         if name != "README.md":
             # README gets the full two-direction check below; other
             # docs get the stale-mention direction only.
@@ -304,6 +316,7 @@ def main() -> int:
         failures += check_transfer_modes(REPO_ROOT / name)
         failures += check_report_formats(REPO_ROOT / name)
         failures += check_engines(REPO_ROOT / name)
+        failures += check_bands(REPO_ROOT / name)
     for failure in failures:
         print(f"FAIL {failure}")
     print(
