@@ -20,6 +20,13 @@ Usage::
         --baseline main-cache            # every cell annotated vs main
     python -m repro diff main-cache merged   # regression table; exit 1
                                              # on regressions
+    python -m repro sweep --app adpcm --kb 4 8 \\
+        --cache results.sqlite           # same grid, SQLite store
+    python -m repro migrate merged results.sqlite   # JSON -> SQLite
+    python -m repro diff base.sqlite results.sqlite \\
+        --group-by policy                # per-axis aggregate diff
+    python -m repro history vim_ms results.sqlite \\
+        --cells adpcm --last 5           # metric trend across runs
 
 The heavy lifting lives in :mod:`repro.exp`; the CLI is a formatting
 shell around it, so everything printed here is also unit-tested.
@@ -47,9 +54,11 @@ from repro.exp.diff import (
     DEFAULT_METRICS,
     METRICS,
     diff_caches,
+    diff_stores,
     render_diff,
 )
-from repro.exp.merge import merge_into
+from repro.exp.history import load_history, render_history
+from repro.exp.merge import merge_into, migrate_store
 from repro.exp.report import (
     FORMATS,
     format_table,
@@ -57,7 +66,9 @@ from repro.exp.report import (
     load_cache_rows,
     render_report,
     stacked_bar_chart,
+    stream_report,
 )
+from repro.exp.store import STORES, is_sqlite_file, open_store, store_kind_of
 from repro.exp.spec import (
     APPS,
     PREFETCHES,
@@ -226,7 +237,7 @@ def _option_in_argv(argv, option: str) -> bool:
 #: ``engine`` qualifies: the backend changes how cells are simulated,
 #: never which cells exist — it is not part of the grid.
 _PRESET_FLAGS = frozenset(
-    {"preset", "jobs", "cache", "json", "force", "shard", "engine"}
+    {"preset", "jobs", "cache", "store", "json", "force", "shard", "engine"}
 ) | _REPORT_FLAGS
 
 
@@ -308,17 +319,37 @@ def _print_report(args: argparse.Namespace) -> None:
             "them, or run the sweep without --report (use --group-by to "
             "organise the report)"
         )
-    loaded = load_cache_rows(args.cache)
-    if loaded.skipped:
+    root = Path(args.cache)
+    if not root.exists() or store_kind_of(root) is None:
+        raise ReproError(f"cache directory {root} does not exist")
+    store = open_store(root)
+    counts = store.counts()
+    if not counts.ok:
+        raise ReproError(
+            f"no loadable cell results in {root} "
+            f"({counts.skipped} stale/invalid file(s) skipped); "
+            "run `repro sweep --cache` first"
+        )
+    if counts.skipped:
         # To stderr: stdout stays the pure report (CI byte-compares and
         # redirects it), but a partial table must not pass silently as
         # the whole grid.
         print(
-            f"warning: skipped {loaded.skipped} stale/invalid cache "
-            f"entr{'y' if loaded.skipped == 1 else 'ies'} in "
+            f"warning: skipped {counts.skipped} stale/invalid cache "
+            f"entr{'y' if counts.skipped == 1 else 'ies'} in "
             f"{args.cache} (not in this report)",
             file=sys.stderr,
         )
+    if args.baseline is None and not args.group_by:
+        # The hot path (CI byte-compares exactly this output) streams:
+        # rows come off the store's sorted cursor one at a time and
+        # the bytes match render_report exactly.
+        stream_report(store, sys.stdout, fmt=args.format)
+        sys.stdout.write("\n")
+        store.close()
+        return
+    rows = list(store.iter_report_rows())
+    store.close()
     baseline = None
     if args.baseline is not None:
         # allow_empty: an all-stale baseline (CACHE_VERSION bump) has
@@ -333,7 +364,7 @@ def _print_report(args: argparse.Namespace) -> None:
                 file=sys.stderr,
             )
     print(render_report(
-        loaded.rows,
+        rows,
         group_by=tuple(args.group_by or ()),
         fmt=args.format,
         baseline=baseline,
@@ -373,6 +404,13 @@ def _print_sweep(args: argparse.Namespace) -> None:
                 "them or drop --preset"
             )
     spec = spec_from_args(args)
+    if args.store is not None and args.cache is None:
+        # Same contract as the other no-effect-flag guards: --store
+        # only names the --cache backend.
+        raise ReproError(
+            "--store selects the --cache backend; pass --cache PATH "
+            "alongside it"
+        )
     if args.force and not args.json:
         # Same contract as the other no-effect-flag guards: a silently
         # ignored --force would misstate what protection the user has.
@@ -402,7 +440,9 @@ def _print_sweep(args: argparse.Namespace) -> None:
         grid_size = len({cell.key() for cell in cells})
         spec = shard_cells(cells, index, total)
         print(f"shard {index}/{total}: {len(spec)} of {grid_size} unique cells")
-    result = exp.run_sweep(spec, jobs=args.jobs, cache_dir=args.cache)
+    result = exp.run_sweep(
+        spec, jobs=args.jobs, cache_dir=args.cache, store_kind=args.store,
+    )
     multi_tenant = any(r.config.tenants > 1 for r in result.rows)
     replicated = any(r.config.replicates > 1 for r in result.rows)
     headers = ["cell", "total ms", "hw ms", "SW(DP) ms", "SW(IMU) ms",
@@ -444,8 +484,37 @@ def _print_sweep(args: argparse.Namespace) -> None:
         print(f"wrote {args.json}")
 
 
-def _print_merge(args: argparse.Namespace) -> None:
-    print(merge_into(args.dest, args.sources))
+def _print_merge(args: argparse.Namespace) -> int:
+    summary = merge_into(args.dest, args.sources, dry_run=args.dry_run)
+    print(summary)
+    if summary.conflicts:
+        # Only --dry-run reaches here (a non-dry conflicted merge
+        # raises); exit 1 so CI pre-flights fail like the real merge.
+        for conflict in summary.conflicts:
+            print(f"  {conflict}")
+        return 1
+    return 0
+
+
+def _print_migrate(args: argparse.Namespace) -> None:
+    print(migrate_store(args.source, args.dest, dest_kind=args.store))
+
+
+def _print_history(args: argparse.Namespace) -> None:
+    root = Path(args.store)
+    if not root.exists() or store_kind_of(root) is None:
+        raise ReproError(f"result store {root} does not exist")
+    store = open_store(root)
+    try:
+        history = load_history(
+            store,
+            args.metric,
+            cells=tuple(args.cells or ()),
+            last=args.last,
+        )
+    finally:
+        store.close()
+    print(render_history(history, fmt=args.format))
 
 
 def _print_diff(args: argparse.Namespace) -> int:
@@ -455,15 +524,33 @@ def _print_diff(args: argparse.Namespace) -> int:
     gate — and 0 otherwise (including the no-comparable-cells case a
     ``CACHE_VERSION`` bump produces: incomparable is not a regression).
     """
-    result = diff_caches(
-        args.baseline,
-        args.current,
-        metrics=tuple(args.metric) if args.metric else DEFAULT_METRICS,
-        rtol=args.rtol,
-        atol=args.atol,
-        bands=args.bands,
-    )
-    print(render_diff(result, fmt=args.format))
+    group_by = tuple(args.group_by or ())
+    metrics = tuple(args.metric) if args.metric else DEFAULT_METRICS
+    # Two stores under exact bands stream through a sorted merge-join
+    # (constant memory, identical output); --json dumps and the
+    # seed-blind cv alignment need rows in hand, so they materialise.
+    if args.bands == "exact" and all(
+        Path(path).is_dir() or is_sqlite_file(Path(path))
+        for path in (args.baseline, args.current)
+    ):
+        result = diff_stores(
+            args.baseline,
+            args.current,
+            metrics=metrics,
+            rtol=args.rtol,
+            atol=args.atol,
+            group_by=group_by,
+        )
+    else:
+        result = diff_caches(
+            args.baseline,
+            args.current,
+            metrics=metrics,
+            rtol=args.rtol,
+            atol=args.atol,
+            bands=args.bands,
+        )
+    print(render_diff(result, fmt=args.format, group_by=group_by))
     return 1 if result.has_regressions else 0
 
 
@@ -607,8 +694,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "result-equivalent and share cache cells)")
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes (cells are independent)")
-    sweep.add_argument("--cache", default=None, metavar="DIR",
-                       help="result-cache directory (re-runs are incremental)")
+    sweep.add_argument("--cache", default=None, metavar="PATH",
+                       help="result store: a cache directory or a .sqlite "
+                            "file (re-runs are incremental)")
+    sweep.add_argument("--store", default=None, choices=STORES,
+                       help="backend for a not-yet-existing --cache "
+                            "(default: inferred from the path — a "
+                            ".sqlite/.sqlite3/.db suffix means sqlite, "
+                            "anything else a JSON directory)")
     sweep.add_argument("--json", default=None, metavar="PATH",
                        help="also dump the rows as JSON")
     sweep.add_argument("--force", action="store_true",
@@ -632,13 +725,55 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.set_defaults(func=_print_sweep)
 
     merge = sub.add_parser(
-        "merge", help="merge shard caches / row dumps into one cache"
+        "merge", help="merge shard stores / row dumps into one store"
     )
     merge.add_argument("dest", metavar="DEST",
-                       help="destination cache directory (created if missing)")
+                       help="destination result store (created if missing; "
+                            "a .sqlite path creates a SQLite store, "
+                            "anything else a JSON cache directory)")
     merge.add_argument("sources", metavar="SOURCE", nargs="+",
-                       help="cache directories and/or `sweep --json` dumps")
+                       help="cache directories, SQLite stores and/or "
+                            "`sweep --json` dumps")
+    merge.add_argument("--dry-run", action="store_true",
+                       help="read and cross-check everything, write "
+                            "nothing; reports every would-be conflict "
+                            "(exit 1 if any) instead of failing on the "
+                            "first")
     merge.set_defaults(func=_print_merge)
+
+    migrate = sub.add_parser(
+        "migrate",
+        help="copy a result store to another backend (JSON <-> SQLite)",
+    )
+    migrate.add_argument("source", metavar="SOURCE",
+                         help="source store (JSON cache directory, SQLite "
+                              "store, or `sweep --json` dump)")
+    migrate.add_argument("dest", metavar="DEST",
+                         help="destination store (created if missing; a "
+                              ".sqlite path creates a SQLite store, "
+                              "anything else a JSON cache directory)")
+    migrate.add_argument("--store", default=None, choices=STORES,
+                         help="force the destination backend instead of "
+                              "inferring it from the path")
+    migrate.set_defaults(func=_print_migrate)
+
+    history = sub.add_parser(
+        "history",
+        help="one metric's per-run time series from a SQLite result store",
+    )
+    history.add_argument("metric", choices=sorted(METRICS),
+                         help="metric to trend across runs")
+    history.add_argument("store", metavar="STORE",
+                         help="SQLite result store (JSON caches keep no "
+                              "run history; `repro migrate` one first)")
+    history.add_argument("--cells", nargs="+", default=None, metavar="SUBSTR",
+                         help="keep only cells whose label contains any of "
+                              "these substrings")
+    history.add_argument("--last", type=int, default=None, metavar="N",
+                         help="show only the most recent N runs")
+    history.add_argument("--format", default="ascii", choices=FORMATS,
+                         help="table format (default: ascii)")
+    history.set_defaults(func=_print_history)
 
     diff = sub.add_parser(
         "diff",
@@ -666,6 +801,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="metric columns to compare "
                            f"(default: {' '.join(DEFAULT_METRICS)}; "
                            f"choices: {', '.join(sorted(METRICS))})")
+    diff.add_argument("--group-by", nargs="+", default=None, metavar="AXIS",
+                      choices=group_axes(),
+                      help="aggregate the table per config-axis group "
+                           "instead of per cell (mean baseline vs mean "
+                           "current per group; "
+                           f"choices: {', '.join(group_axes())})")
     diff.add_argument("--format", default="ascii", choices=FORMATS,
                       help="table format (default: ascii; CI uses md)")
     diff.set_defaults(func=_print_diff)

@@ -12,16 +12,23 @@ simulation.  This package makes that structure first-class:
 * :func:`~repro.exp.cell.run_cell` — execute one cell (software
   reference, VIM-based run, optionally the typical coprocessor);
 * :func:`~repro.exp.sweep.run_sweep` — execute a whole grid across a
-  ``multiprocessing`` pool, with an incremental JSON result cache
-  keyed by config hash;
+  ``multiprocessing`` pool, with an incremental result store keyed by
+  config hash;
+* :mod:`~repro.exp.store` — the result-store layer: one
+  :class:`~repro.exp.store.ResultStore` protocol, a JSON-directory
+  backend and an append-only SQLite backend, selected by path
+  (``repro sweep --store``, ``repro migrate``);
 * :func:`~repro.exp.spec.shard_cells` — deterministic cross-machine
   grid partitioning (``repro sweep --shard I/N``);
-* :mod:`~repro.exp.merge` — recombine shard caches / row dumps into
-  one cache directory, with conflict detection;
+* :mod:`~repro.exp.merge` — recombine shard stores / row dumps into
+  one store as key-sorted streams, with conflict detection;
 * :mod:`~repro.exp.report` — render the paper's tables straight from
-  a cache directory, no re-simulation (``repro sweep --report``);
-* :mod:`~repro.exp.diff` — compare two caches into a typed regression
-  table with tolerance-gated exit semantics (``repro diff``);
+  a result store, no re-simulation (``repro sweep --report``);
+* :mod:`~repro.exp.diff` — compare two stores into a typed regression
+  table with tolerance-gated exit semantics (``repro diff``), per
+  cell or aggregated per axis group (``--group-by``);
+* :mod:`~repro.exp.history` — per-run metric time series over an
+  append-only store (``repro history``);
 * :mod:`~repro.exp.api` — the paper's figure/ablation drivers as thin
   sweeps over this engine.
 
@@ -56,11 +63,23 @@ from repro.exp.diff import (
     MetricDelta,
     diff_caches,
     diff_rows,
+    diff_stores,
     load_side,
     render_diff,
     scalar_delta,
 )
-from repro.exp.merge import MergeConflict, MergeSummary, merge_into
+from repro.exp.history import (
+    HistoryResult,
+    HistorySeries,
+    load_history,
+    render_history,
+)
+from repro.exp.merge import (
+    MergeConflict,
+    MergeSummary,
+    merge_into,
+    migrate_store,
+)
 from repro.exp.report import (
     FORMATS,
     bar_chart,
@@ -70,6 +89,7 @@ from repro.exp.report import (
     render_table,
     report_from_cache,
     stacked_bar_chart,
+    stream_report,
 )
 from repro.exp.results import CellResult
 from repro.exp.spec import (
@@ -78,6 +98,16 @@ from repro.exp.spec import (
     config_hash,
     grid_fingerprint,
     shard_cells,
+)
+from repro.exp.store import (
+    STORES,
+    JsonDirStore,
+    ResultStore,
+    RunRecord,
+    SqliteStore,
+    StoreCounts,
+    open_store,
+    store_kind_of,
 )
 from repro.exp.sweep import SweepResult, run_sweep
 
@@ -89,10 +119,18 @@ __all__ = [
     "DiffResult",
     "FORMATS",
     "Figure7Result",
+    "HistoryResult",
+    "HistorySeries",
+    "JsonDirStore",
     "MergeConflict",
     "MergeSummary",
     "MetricDelta",
     "PortabilityRow",
+    "ResultStore",
+    "RunRecord",
+    "STORES",
+    "SqliteStore",
+    "StoreCounts",
     "SweepCache",
     "SweepResult",
     "SweepSpec",
@@ -110,16 +148,21 @@ __all__ = [
     "delta_bar_chart",
     "diff_caches",
     "diff_rows",
+    "diff_stores",
     "figure7",
     "figure8",
     "figure9",
     "grid_fingerprint",
     "imu_overhead_rows",
     "load_cache_rows",
+    "load_history",
     "load_side",
     "merge_into",
+    "migrate_store",
+    "open_store",
     "portability",
     "render_diff",
+    "render_history",
     "render_report",
     "render_table",
     "report_from_cache",
@@ -128,5 +171,7 @@ __all__ = [
     "scalar_delta",
     "shard_cells",
     "stacked_bar_chart",
+    "store_kind_of",
+    "stream_report",
     "translation_overhead",
 ]

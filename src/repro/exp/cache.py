@@ -143,10 +143,12 @@ class SweepCache:
 
     Notes
     -----
-    ``len(cache)`` counts the stored entries.  Every entry embeds the
-    full config and :data:`~repro.exp.spec.CACHE_VERSION`, so a schema
-    bump, a hash collision or a hand-edited file degrades to a miss —
-    never to silently wrong numbers.
+    ``len(cache)`` counts the **loadable** entries — a stale-version
+    or corrupt ``*.json`` file is not an entry, exactly as it is not a
+    row to :meth:`load` or to any reader above.  Every entry embeds
+    the full config and :data:`~repro.exp.spec.CACHE_VERSION`, so a
+    schema bump, a hash collision or a hand-edited file degrades to a
+    miss — never to silently wrong numbers.
     """
 
     def __init__(self, root: str | Path) -> None:
@@ -207,4 +209,7 @@ class SweepCache:
         return path
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*.json"))
+        return sum(
+            1 for _path, status, _result in iter_classified(self.root)
+            if status == "ok"
+        )

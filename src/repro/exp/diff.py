@@ -50,20 +50,23 @@ from pathlib import Path
 from typing import Callable
 
 from repro.errors import ReproError
-from repro.exp.cache import iter_classified, iter_dump_rows
+from repro.exp.cache import iter_dump_rows
 from repro.exp.report import (
     delta_bar_chart,
     format_cell,
     format_delta,
+    group_axes,
     render_table,
 )
 from repro.exp.results import REPLICATED_COLUMNS, CellResult
 from repro.exp.spec import (
     CACHE_VERSION,
+    fingerprint_from_keys,
     grid_fingerprint,
     replica_fingerprint,
     replica_hash,
 )
+from repro.exp.store import is_sqlite_file, open_store
 
 
 # ----------------------------------------------------------------------
@@ -344,9 +347,9 @@ def load_side(path: str | Path) -> DiffSide:
     root = Path(path)
     rows: dict[str, CellResult] = {}
     stale = invalid = 0
-    if root.is_dir():
+    if root.is_dir() or is_sqlite_file(root):
         entries = 0
-        for _path, status, result in iter_classified(root):
+        for _origin, status, result in open_store(root).iter_classified():
             entries += 1
             if status == "ok":
                 rows[result.key] = result
@@ -390,13 +393,25 @@ def load_side(path: str | Path) -> DiffSide:
 
 @dataclass(frozen=True)
 class CellDiff:
-    """All compared metrics of one config present in both runs."""
+    """All compared metrics of one config present in both runs.
+
+    ``base`` / ``current`` hold the full rows on the materialised
+    path; the streaming differ (:func:`diff_stores`) drops them
+    (``None``) once the deltas are computed so a large diff never
+    retains its rows — everything :func:`render_diff` needs lives on
+    the label, the deltas, and (for grouped diffs)
+    ``group_values``.
+    """
 
     key: str
     label: str
-    base: CellResult
-    current: CellResult
+    base: CellResult | None
+    current: CellResult | None
     deltas: tuple[MetricDelta, ...]
+    #: Raw config-axis values of a ``--group-by`` request, in axis
+    #: order; filled by the streaming differ (the materialised path
+    #: reads them off ``current.config`` at render time).
+    group_values: tuple = ()
 
     @property
     def changed(self) -> bool:
@@ -441,6 +456,10 @@ class DiffResult:
     rtol: float
     atol: float
     bands: str = "exact"
+    #: Precomputed (baseline, current) fingerprints.  The streaming
+    #: differ sets this from the key streams (its ``DiffSide`` rows
+    #: stay empty by design); ``None`` computes from the loaded rows.
+    fingerprints_override: tuple[str, str] | None = None
 
     @property
     def changed_cells(self) -> tuple[CellDiff, ...]:
@@ -461,6 +480,8 @@ class DiffResult:
         the fingerprint is seed-blind
         (:func:`~repro.exp.spec.replica_fingerprint`): disjoint seed
         sets over the same design space are *meant* to match."""
+        if self.fingerprints_override is not None:
+            return self.fingerprints_override
         fingerprint = (
             replica_fingerprint if self.bands == "cv" else grid_fingerprint
         )
@@ -628,6 +649,162 @@ def diff_caches(
     )
 
 
+@dataclass(frozen=True)
+class _LeanRow:
+    """A row reduced to what added/removed rendering touches."""
+
+    key: str
+    label: str
+
+
+def _store_cursor(store, counter: list[int]):
+    """The store's ok rows in key order, tallying stale/invalid.
+
+    ``counter`` is ``[entries, stale, invalid]`` and is updated as the
+    cursor advances — one classified pass serves the join, the side
+    notes, and the emptiness check at once.
+    """
+    for _origin, status, result in store.iter_classified():
+        counter[0] += 1
+        if status == "ok":
+            yield result
+        elif status == "stale-version":
+            counter[1] += 1
+        else:
+            counter[2] += 1
+
+
+def diff_stores(
+    baseline: str | Path,
+    current: str | Path,
+    metrics=DEFAULT_METRICS,
+    rtol: float = 0.0,
+    atol: float = 0.0,
+    group_by: tuple[str, ...] = (),
+) -> DiffResult:
+    """Diff two result stores by a sorted-key merge-join, out-of-core.
+
+    The streaming sibling of :func:`diff_caches` for ``exact`` bands:
+    both stores are walked as key-sorted classified cursors and
+    aligned with a two-pointer join, so no row dictionary is ever
+    built — each :class:`~repro.exp.results.CellResult` is dropped the
+    moment its deltas are computed, and the returned
+    :class:`DiffResult` holds only labels, deltas, and key
+    fingerprints.  :func:`render_diff` accepts it unchanged and
+    produces bytes identical to the materialised path.
+
+    Parameters
+    ----------
+    baseline, current : str or Path
+        Result stores (JSON cache directories or SQLite files).  Row
+        dumps and ``cv`` bands need the materialised loader
+        (:func:`diff_caches`), which the CLI falls back to.
+    group_by : tuple of str
+        Config axes whose raw values to record per matched cell
+        (``repro diff --group-by``); recorded during the join because
+        the configs are gone by render time.
+    """
+    if rtol < 0 or atol < 0:
+        raise ReproError(f"tolerances must be >= 0, got rtol={rtol} atol={atol}")
+    selected = _resolve_metrics(metrics)
+    known_axes = group_axes()
+    bad = [axis for axis in group_by if axis not in known_axes]
+    if bad:
+        raise ReproError(
+            f"unknown group-by axis/axes {bad}; choices: {known_axes}"
+        )
+    sides = []
+    for path in (baseline, current):
+        root = Path(path)
+        if not root.exists():
+            raise ReproError(f"diff source {root} does not exist")
+        sides.append(open_store(root))
+    base_store, current_store = sides
+    base_counter = [0, 0, 0]  # entries, stale, invalid
+    current_counter = [0, 0, 0]
+    base_cursor = _store_cursor(base_store, base_counter)
+    current_cursor = _store_cursor(current_store, current_counter)
+    base_keys: list[str] = []
+    current_keys: list[str] = []
+    cells: list[CellDiff] = []
+    added: list[_LeanRow] = []
+    removed: list[_LeanRow] = []
+    base_row = next(base_cursor, None)
+    current_row = next(current_cursor, None)
+    while base_row is not None or current_row is not None:
+        if current_row is None or (
+            base_row is not None and base_row.key < current_row.key
+        ):
+            base_keys.append(base_row.key)
+            removed.append(_LeanRow(key=base_row.key, label=base_row.label))
+            base_row = next(base_cursor, None)
+            continue
+        if base_row is None or current_row.key < base_row.key:
+            current_keys.append(current_row.key)
+            added.append(_LeanRow(key=current_row.key, label=current_row.label))
+            current_row = next(current_cursor, None)
+            continue
+        base_keys.append(base_row.key)
+        current_keys.append(current_row.key)
+        deltas = tuple(
+            scalar_delta(
+                metric.name,
+                metric.value(base_row),
+                metric.value(current_row),
+                rtol=rtol,
+                atol=atol,
+                higher_is_worse=metric.higher_is_worse,
+            )
+            for metric in selected
+        )
+        cells.append(CellDiff(
+            key=current_row.key,
+            label=current_row.label,
+            base=None,
+            current=None,
+            deltas=deltas,
+            group_values=tuple(
+                getattr(current_row.config, axis) for axis in group_by
+            ),
+        ))
+        base_row = next(base_cursor, None)
+        current_row = next(current_cursor, None)
+    for path, counter in ((baseline, base_counter), (current, current_counter)):
+        if not counter[0]:
+            raise ReproError(
+                f"{Path(path)} holds no cache entries; pass a sweep-cache "
+                "directory or a `repro sweep --json` dump"
+            )
+    # The classified cursors are key-sorted, so matched/added/removed
+    # arrived in key order; canonical diff order is (label, key).
+    cells.sort(key=lambda cell: (cell.label, cell.key))
+    added.sort(key=lambda row: (row.label, row.key))
+    removed.sort(key=lambda row: (row.label, row.key))
+    result = DiffResult(
+        cells=tuple(cells),
+        added=tuple(added),
+        removed=tuple(removed),
+        baseline=DiffSide(
+            origin=str(baseline), rows={},
+            stale=base_counter[1], invalid=base_counter[2],
+        ),
+        current=DiffSide(
+            origin=str(current), rows={},
+            stale=current_counter[1], invalid=current_counter[2],
+        ),
+        metrics=tuple(m.name for m in selected),
+        rtol=rtol,
+        atol=atol,
+        fingerprints_override=(
+            fingerprint_from_keys(base_keys),
+            fingerprint_from_keys(current_keys),
+        ),
+    )
+    base_store.close()
+    current_store.close()
+    return result
+
+
 # ----------------------------------------------------------------------
 # Rendering
 # ----------------------------------------------------------------------
@@ -671,7 +848,104 @@ def _side_notes(side: DiffSide, name: str) -> list[str]:
     return notes
 
 
-def render_diff(result: DiffResult, fmt: str = "ascii", bars: bool = True) -> str:
+def _cell_group_values(cell: CellDiff, group_by: tuple[str, ...]) -> tuple:
+    """The raw axis values of one matched cell.
+
+    The streaming differ recorded them during the join; the
+    materialised path still has the row and reads its config.
+    """
+    if len(cell.group_values) == len(group_by):
+        return cell.group_values
+    return tuple(getattr(cell.current.config, axis) for axis in group_by)
+
+
+def _grouped_cells(
+    result: DiffResult, group_by: tuple[str, ...]
+) -> list[tuple[tuple, list[CellDiff]]]:
+    """Matched cells bucketed by axis values, sorted like the report
+    grouper (raw values, ``None`` first)."""
+    groups: dict[tuple, list[CellDiff]] = {}
+    for cell in result.cells:
+        groups.setdefault(
+            _cell_group_values(cell, group_by), []
+        ).append(cell)
+    return sorted(
+        groups.items(),
+        key=lambda item: tuple((v is not None, v) for v in item[0]),
+    )
+
+
+def _group_delta(cells: list[CellDiff], index: int) -> MetricDelta:
+    """One metric aggregated over a group: mean vs mean.
+
+    ``changed``/``regressed`` hold if *any* cell in the group did —
+    an aggregate table must not average a regression away.
+    """
+    deltas = [cell.deltas[index] for cell in cells]
+    return MetricDelta(
+        metric=deltas[0].metric,
+        base=sum(d.base for d in deltas) / len(deltas),
+        current=sum(d.current for d in deltas) / len(deltas),
+        changed=any(d.changed for d in deltas),
+        regressed=any(d.regressed for d in deltas),
+    )
+
+
+def _group_status(cells: list[CellDiff]) -> str:
+    if any(cell.regressed for cell in cells):
+        return "REGRESSION"
+    if any(cell.changed for cell in cells):
+        return "changed"
+    return "ok"
+
+
+def _grouped_table(
+    result: DiffResult, group_by: tuple[str, ...], fmt: str
+) -> str:
+    """The ``--group-by`` aggregate table: one row per axis-value
+    combination, mean-vs-mean deltas, any-cell status."""
+    headers = (
+        list(group_by) + ["cells"]
+        + [f"Δ {name}" for name in result.metrics] + ["status"]
+    )
+    rows = []
+    for values, cells in _grouped_cells(result, group_by):
+        rows.append(
+            list(values)
+            + [len(cells)]
+            + [
+                format_delta_cell(_group_delta(cells, index))
+                for index in range(len(result.metrics))
+            ]
+            + [_group_status(cells)]
+        )
+    return render_table(headers, rows, fmt)
+
+
+def _grouped_bars(result: DiffResult, group_by: tuple[str, ...]) -> str:
+    """Delta bars of the first metric's per-group mean relative delta."""
+    if not result.metrics:
+        return ""
+    rows = []
+    for values, cells in _grouped_cells(result, group_by):
+        delta = _group_delta(cells, 0)
+        if delta.changed and delta.relative is not None:
+            label = ", ".join(
+                f"{axis}={format_cell(value)}"
+                for axis, value in zip(group_by, values)
+            )
+            rows.append((label, delta.relative * 100.0))
+    if not rows:
+        return ""
+    return f"Δ {result.metrics[0]} vs baseline:\n" + delta_bar_chart(rows)
+
+
+def render_diff(
+    result: DiffResult,
+    fmt: str = "ascii",
+    bars: bool = True,
+    group_by: tuple[str, ...] = (),
+) -> str:
     """Render a :class:`DiffResult` as a regression table plus summary.
 
     Parameters
@@ -685,6 +959,12 @@ def render_diff(result: DiffResult, fmt: str = "ascii", bars: bool = True) -> st
         Append ASCII delta bars (relative deltas of the first compared
         metric, changed cells only).  ``md`` wraps them in a fenced
         block.
+    group_by : tuple of str
+        Config axes to aggregate along (``repro diff --group-by``):
+        instead of one row per cell, the table gets one row per
+        axis-value combination with mean-vs-mean deltas and a status
+        that regresses if *any* member cell regressed.  The summary
+        line, added/removed lists, and side notes stay per-cell.
 
     Returns
     -------
@@ -696,17 +976,25 @@ def render_diff(result: DiffResult, fmt: str = "ascii", bars: bool = True) -> st
         added/removed/stale information is available on the
         :class:`DiffResult` itself, and the exit code still gates.
     """
-    headers = ["cell"] + [f"Δ {name}" for name in result.metrics] + ["status"]
-    table = render_table(
-        headers,
-        [
-            [cell.label]
-            + [format_delta_cell(delta) for delta in cell.deltas]
-            + [_cell_status(cell)]
-            for cell in result.cells
-        ],
-        fmt,
-    )
+    known_axes = group_axes()
+    bad = [axis for axis in group_by if axis not in known_axes]
+    if bad:
+        raise ReproError(
+            f"unknown group-by axis/axes {bad}; choices: {known_axes}"
+        )
+    if group_by:
+        table = _grouped_table(result, tuple(group_by), fmt)
+    else:
+        table = render_table(
+            ["cell"] + [f"Δ {name}" for name in result.metrics] + ["status"],
+            [
+                [cell.label]
+                + [format_delta_cell(delta) for delta in cell.deltas]
+                + [_cell_status(cell)]
+                for cell in result.cells
+            ],
+            fmt,
+        )
     if fmt == "csv":
         return table
     tolerance = f"rtol={result.rtol:g}, atol={result.atol:g}"
@@ -744,7 +1032,10 @@ def render_diff(result: DiffResult, fmt: str = "ascii", bars: bool = True) -> st
             "stale); nothing to gate on"
         )
     if bars:
-        chart = _delta_bars(result)
+        chart = (
+            _grouped_bars(result, tuple(group_by)) if group_by
+            else _delta_bars(result)
+        )
         if chart:
             lines.append("")
             if fmt == "md":

@@ -36,9 +36,9 @@ from pathlib import Path
 from typing import Callable
 
 from repro.errors import ReproError
-from repro.exp.cache import iter_entries
 from repro.exp.results import REPLICATED_COLUMNS, CellResult
 from repro.exp.spec import CellConfig
+from repro.exp.store import ResultStore, open_store, store_kind_of
 
 #: Output formats ``render_report`` / ``render_table`` understand
 #: (the CLI spells this ``--format {md,csv,ascii}``).
@@ -373,18 +373,18 @@ def group_axes() -> tuple[str, ...]:
 
 @dataclass(frozen=True)
 class CacheRows:
-    """The readable contents of one cache directory.
+    """The readable contents of one result store.
 
     Parameters
     ----------
     rows : tuple of CellResult
         Every valid entry, sorted by ``(label, key)`` — a canonical
-        order independent of filesystem listing order or of which
-        machine (or shard) produced each entry.
+        order independent of filesystem listing order, store backend,
+        or of which machine (or shard) produced each entry.
     skipped : int
-        Files that did not parse as current-version cache entries
-        (stale schema version, corrupt JSON, hash mismatch) and were
-        left out of the report.
+        Entries that did not parse as current-version rows (stale
+        schema version, corrupt JSON, hash mismatch) and were left
+        out of the report.
     """
 
     rows: tuple[CellResult, ...]
@@ -399,10 +399,11 @@ def load_cache_rows(
     Parameters
     ----------
     cache_dir : str or Path
-        A sweep-cache directory (``--cache DIR`` of a previous run, or
-        the output of :func:`repro.exp.merge.merge_into`).
+        A result store: a sweep-cache directory (``--cache DIR`` of a
+        previous run, the output of
+        :func:`repro.exp.merge.merge_into`) or a SQLite store file.
     allow_empty : bool
-        With the default ``False``, a directory holding no valid entry
+        With the default ``False``, a store holding no valid entry
         raises.  ``True`` returns an empty row set instead — the
         baseline loader uses that so a baseline written under an older
         ``CACHE_VERSION`` degrades to "nothing to compare" rather than
@@ -411,24 +412,26 @@ def load_cache_rows(
     Returns
     -------
     CacheRows
-        Valid rows in canonical order plus the skipped-file count.
+        Valid rows in canonical order plus the skipped-entry count.
 
     Raises
     ------
     ReproError
-        If the directory does not exist, or (unless *allow_empty*)
+        If the store does not exist, or (unless *allow_empty*)
         holds no valid entry.
     """
     root = Path(cache_dir)
-    if not root.is_dir():
+    if not root.exists() or store_kind_of(root) is None:
         raise ReproError(f"cache directory {root} does not exist")
+    store = open_store(root)
     rows = []
     skipped = 0
-    for _path, result in iter_entries(root):
-        if result is None:
-            skipped += 1
-        else:
+    for _origin, status, result in store.iter_classified():
+        if status == "ok":
             rows.append(result)
+        else:
+            skipped += 1
+    store.close()
     if not rows and not allow_empty:
         raise ReproError(
             f"no loadable cell results in {root} "
@@ -592,6 +595,102 @@ def render_report(
         heading = f"### {title}" if fmt == "md" else f"== {title} =="
         sections.append(heading + "\n\n" + render_table(headers, table_rows(group), fmt))
     return "\n\n".join(sections) + removed_note()
+
+
+def stream_report(
+    store: ResultStore,
+    out,
+    fmt: str = "md",
+    columns=None,
+) -> int:
+    """Render the ungrouped report of *store* into *out*, streaming.
+
+    The out-of-core face of :func:`render_report`: rows come off the
+    store's ``(label, key)``-sorted cursor one at a time and each is
+    formatted and written immediately, so a 10k-cell report never
+    holds 10k rows.  The bytes written are identical to
+    ``render_report(rows, fmt=fmt, columns=columns)`` over the same
+    store — the property the cross-backend CI job asserts.
+
+    ``md`` and ``csv`` are single-pass; ``ascii`` needs column widths
+    up front, so it walks the cursor twice (still one row in memory
+    at a time).  Grouped and baseline-annotated reports go through
+    :func:`render_report` — grouping reorders rows, so it has to
+    collect them.
+
+    Parameters
+    ----------
+    store : ResultStore
+        The store to report.
+    out : file-like
+        Destination; written via ``out.write`` with no trailing
+        newline (matching :func:`render_report`'s return value).
+    fmt : str
+        One of :data:`FORMATS`.
+    columns : sequence of str, optional
+        Column selectors; ``None`` picks the default set, widened by
+        the mean/CV summaries when the store holds replicated rows.
+
+    Returns
+    -------
+    int
+        Rows rendered.
+    """
+    if fmt not in FORMATS:
+        raise ReproError(f"unknown report format {fmt!r}; choices: {FORMATS}")
+    if columns is None:
+        columns = DEFAULT_COLUMNS
+        if store.any_replicated():
+            columns = columns + REPLICATED_REPORT_COLUMNS
+    selected = _resolve_columns(columns)
+    headers = [column.header for _, column in selected]
+    if not headers:
+        raise ReproError("table needs at least one column")
+
+    def formatted(row) -> list[str]:
+        return [format_cell(column.value(row)) for _, column in selected]
+
+    count = 0
+    if fmt == "md":
+        out.write("| " + " | ".join(headers) + " |")
+        out.write("\n|" + "|".join("---" for _ in headers) + "|")
+        for row in store.iter_report_rows():
+            out.write("\n| " + " | ".join(formatted(row)) + " |")
+            count += 1
+        return count
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+
+        def record(cells: list[str]) -> str:
+            writer.writerow(cells)
+            line = buffer.getvalue()[:-1]  # drop the line terminator
+            buffer.seek(0)
+            buffer.truncate(0)
+            return line
+
+        out.write(record(headers))
+        for row in store.iter_report_rows():
+            out.write("\n" + record(formatted(row)))
+            count += 1
+        return count
+    # ascii: pass 1 measures column widths, pass 2 emits.
+    widths = [len(header) for header in headers]
+    for row in store.iter_report_rows():
+        for index, text in enumerate(formatted(row)):
+            widths[index] = max(widths[index], len(text))
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(
+            cell.rjust(width) for cell, width in zip(cells, widths)
+        )
+
+    out.write(line(headers))
+    out.write("\n" + line(["-" * width for width in widths]))
+    for row in store.iter_report_rows():
+        out.write("\n" + line(formatted(row)))
+        count += 1
+    return count
 
 
 def report_from_cache(

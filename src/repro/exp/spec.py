@@ -342,7 +342,19 @@ def grid_fingerprint(cells) -> str:
         12 hex digits; covers :data:`CACHE_VERSION` via the config
         hashes themselves.
     """
-    keys = sorted({cell.key() for cell in cells})
+    return fingerprint_from_keys(cell.key() for cell in cells)
+
+
+def fingerprint_from_keys(keys) -> str:
+    """:func:`grid_fingerprint` from already-computed config hashes.
+
+    The streaming differ aligns two stores without ever materialising
+    their rows, so it has hashes (store keys) rather than
+    :class:`CellConfig` objects; this is the same digest over the same
+    canonicalisation (sorted, deduplicated), factored out so the two
+    entry points cannot drift.
+    """
+    keys = sorted(set(keys))
     digest = hashlib.sha256("\n".join(keys).encode("ascii"))
     return digest.hexdigest()[:12]
 

@@ -4,7 +4,8 @@ Each cell is an independent deterministic simulation, so the grid is
 embarrassingly parallel: ``run_sweep(spec, jobs=N)`` produces results
 byte-identical to the serial run, in the same (spec-defined) order.
 Duplicate configurations are simulated once and fanned back out, and a
-:class:`~repro.exp.cache.SweepCache` makes re-runs incremental.
+:class:`~repro.exp.store.ResultStore` (JSON directory or SQLite file,
+selected by path) makes re-runs incremental.
 """
 
 from __future__ import annotations
@@ -14,10 +15,10 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ReproError
-from repro.exp.cache import SweepCache
 from repro.exp.cell import run_cell
 from repro.exp.results import CellResult
 from repro.exp.spec import CellConfig, SweepSpec
+from repro.exp.store import open_store
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,7 @@ def run_sweep(
     spec: SweepSpec | list[CellConfig],
     jobs: int = 1,
     cache_dir: str | Path | None = None,
+    store_kind: str | None = None,
 ) -> SweepResult:
     """Execute every cell of *spec* and return rows in grid order.
 
@@ -76,11 +78,17 @@ def run_sweep(
         ``multiprocessing`` pool.  Cells are independent deterministic
         simulations, so the rows are byte-identical to a serial run.
     cache_dir : str or Path, optional
-        Result-cache directory.  Previously executed cells are loaded
-        instead of re-simulated; fresh results are persisted for the
-        next run.  Cache keys cover every config field plus
+        Result store: a cache directory or a ``.sqlite`` file, opened
+        through :func:`~repro.exp.store.open_store` (created if
+        missing).  Previously executed cells are loaded instead of
+        re-simulated; fresh results are persisted for the next run.
+        Store keys cover every config field plus
         :data:`~repro.exp.spec.CACHE_VERSION` (see
         ``docs/extending-sweeps.md`` for the compatibility rules).
+    store_kind : str, optional
+        Force the backend of a not-yet-existing *cache_dir*
+        (:data:`~repro.exp.store.STORES`; the CLI spells this
+        ``--store``).  Contradicting an existing store is an error.
 
     Returns
     -------
@@ -90,12 +98,16 @@ def run_sweep(
     Raises
     ------
     ReproError
-        If *jobs* is less than 1.
+        If *jobs* is less than 1, or if *store_kind* contradicts what
+        already exists at *cache_dir*.
     """
     if jobs < 1:
         raise ReproError(f"jobs must be >= 1, got {jobs}")
     configs = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
-    cache = SweepCache(cache_dir) if cache_dir is not None else None
+    cache = (
+        open_store(cache_dir, kind=store_kind, create=True)
+        if cache_dir is not None else None
+    )
 
     by_key: dict[str, CellResult] = {}
     cached = 0
@@ -105,7 +117,7 @@ def run_sweep(
         if key in by_key:
             continue
         if cache is not None:
-            hit = cache.load(config)
+            hit = cache.get(config)
             if hit is not None:
                 by_key[key] = hit
                 cached += 1
@@ -122,7 +134,9 @@ def run_sweep(
         for result in fresh:
             by_key[result.key] = result
             if cache is not None:
-                cache.store(result)
+                cache.put(result)
 
+    if cache is not None:
+        cache.close()
     rows = tuple(by_key[config.key()] for config in configs)
     return SweepResult(rows=rows, executed=len(pending), cached=cached)

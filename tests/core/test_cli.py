@@ -18,7 +18,8 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for command in ("fig7", "fig8", "fig9", "overheads", "ablations",
-                        "portability", "run", "sweep", "merge", "diff"):
+                        "portability", "run", "sweep", "merge", "migrate",
+                        "history", "diff"):
             assert command in text
 
 
@@ -372,3 +373,153 @@ class TestDiffCLI:
         a, b = self._two_caches(tmp_path)
         with pytest.raises(SystemExit):
             main(["diff", str(a), str(b), "--metric", "warp_factor"])
+
+
+class TestStoreCli:
+    """The store-layer CLI surface: --store, migrate, history, dry-run."""
+
+    GRID = ["--app", "vadd", "--kb", "1", "--policy", "fifo", "lru"]
+
+    def test_sqlite_cache_round_trip(self, capsys, tmp_path):
+        store = tmp_path / "results.sqlite"
+        assert main(["sweep", *self.GRID, "--cache", str(store)]) == 0
+        assert "2 simulated, 0 from cache" in capsys.readouterr().out
+        assert main(["sweep", *self.GRID, "--cache", str(store)]) == 0
+        assert "0 simulated, 2 from cache" in capsys.readouterr().out
+
+    def test_store_flag_forces_backend(self, capsys, tmp_path):
+        store = tmp_path / "oddly-named"
+        assert main(["sweep", *self.GRID, "--cache", str(store),
+                     "--store", "sqlite"]) == 0
+        assert store.is_file()  # sqlite file despite the dir-like name
+
+    def test_store_flag_requires_cache(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", *self.GRID, "--store", "sqlite"])
+        assert excinfo.value.code == 2
+        assert "pass --cache" in capsys.readouterr().err
+
+    def test_store_flag_rejected_under_report(self, capsys, tmp_path):
+        store = tmp_path / "results.sqlite"
+        assert main(["sweep", *self.GRID, "--cache", str(store)]) == 0
+        with pytest.raises(SystemExit):
+            main(["sweep", "--report", "--cache", str(store),
+                  "--store", "sqlite"])
+
+    def test_report_byte_identical_across_backends(self, capsys, tmp_path):
+        json_cache = tmp_path / "cache"
+        sqlite_store = tmp_path / "results.sqlite"
+        assert main(["sweep", *self.GRID, "--cache", str(json_cache)]) == 0
+        capsys.readouterr()
+        assert main(["migrate", str(json_cache), str(sqlite_store)]) == 0
+        assert "2 written" in capsys.readouterr().out
+        for fmt in ("md", "ascii", "csv"):
+            outputs = []
+            for path in (json_cache, sqlite_store):
+                assert main(["sweep", "--report", "--cache", str(path),
+                             "--format", fmt]) == 0
+                outputs.append(capsys.readouterr().out)
+            assert outputs[0] == outputs[1]
+
+    def test_migrate_round_trip_restores_files(self, capsys, tmp_path):
+        json_cache = tmp_path / "cache"
+        assert main(["sweep", *self.GRID, "--cache", str(json_cache)]) == 0
+        assert main(["migrate", str(json_cache),
+                     str(tmp_path / "hop.sqlite")]) == 0
+        assert main(["migrate", str(tmp_path / "hop.sqlite"),
+                     str(tmp_path / "back")]) == 0
+        original = {p.name: p.read_bytes() for p in json_cache.glob("*.json")}
+        restored = {
+            p.name: p.read_bytes()
+            for p in (tmp_path / "back").glob("*.json")
+        }
+        assert original == restored
+
+    def test_merge_dry_run_writes_nothing(self, capsys, tmp_path):
+        source = tmp_path / "cache"
+        assert main(["sweep", *self.GRID, "--cache", str(source)]) == 0
+        capsys.readouterr()
+        dest = tmp_path / "merged"
+        assert main(["merge", "--dry-run", str(dest), str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "dry-run: would merge" in out
+        assert "2 written" in out
+        assert not dest.exists()
+
+    def test_merge_dry_run_reports_conflicts_exit_1(self, capsys, tmp_path):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        for name in (a, b):
+            assert main(["sweep", *self.GRID, "--cache", str(name)]) == 0
+        TestDiffCLI._worsen(b)
+        capsys.readouterr()
+        dest = tmp_path / "merged"
+        assert main(["merge", "--dry-run", str(dest), str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "1 conflict(s)" in out
+        assert "conflicting results for config" in out
+        assert not dest.exists()
+
+    def test_diff_group_by_aggregates_per_axis(self, capsys, tmp_path):
+        a = tmp_path / "a.sqlite"
+        b = tmp_path / "b.sqlite"
+        for name in (a, b):
+            assert main(["sweep", *self.GRID, "--cache", str(name)]) == 0
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b), "--group-by", "policy"]) == 0
+        out = capsys.readouterr().out
+        assert "policy" in out.splitlines()[0]
+        assert "fifo" in out and "lru" in out
+        assert "vadd-1KB" not in out  # aggregated, not per-cell
+
+    def test_diff_streams_sqlite_same_as_json(self, capsys, tmp_path):
+        json_a = tmp_path / "a"
+        json_b = tmp_path / "b"
+        for name in (json_a, json_b):
+            assert main(["sweep", *self.GRID, "--cache", str(name)]) == 0
+        assert main(["migrate", str(json_a),
+                     str(tmp_path / "a.sqlite")]) == 0
+        assert main(["migrate", str(json_b),
+                     str(tmp_path / "b.sqlite")]) == 0
+        capsys.readouterr()
+        assert main(["diff", str(json_a), str(json_b)]) == 0
+        from_json = capsys.readouterr().out
+        assert main(["diff", str(tmp_path / "a.sqlite"),
+                     str(tmp_path / "b.sqlite")]) == 0
+        assert capsys.readouterr().out == from_json
+
+    def test_history_renders_per_run_series(self, capsys, tmp_path):
+        store = tmp_path / "results.sqlite"
+        assert main(["sweep", *self.GRID, "--cache", str(store)]) == 0
+        assert main(["sweep", "--app", "vadd", "--kb", "2",
+                     "--cache", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["history", "vim_ms", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "vim_ms across 2 run(s)" in out
+        assert "vadd-1KB" in out and "vadd-2KB" in out
+        assert out.count("\n") >= 5  # title + table of two run rows
+
+    def test_history_cells_filter_and_last(self, capsys, tmp_path):
+        store = tmp_path / "results.sqlite"
+        assert main(["sweep", *self.GRID, "--cache", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["history", "vim_ms", str(store),
+                     "--cells", "lru", "--last", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "vadd-1KB/lru" in out
+        assert "vadd-1KB  " not in out  # the fifo cell is filtered out
+
+    def test_history_on_json_cache_points_at_migrate(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(["sweep", *self.GRID, "--cache", str(cache)]) == 0
+        with pytest.raises(SystemExit) as excinfo:
+            main(["history", "vim_ms", str(cache)])
+        assert excinfo.value.code == 2
+        assert "repro migrate" in capsys.readouterr().err
+
+    def test_history_missing_store_exits_2(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["history", "vim_ms", str(tmp_path / "absent.sqlite")])
+        assert excinfo.value.code == 2
+        assert "does not exist" in capsys.readouterr().err

@@ -266,3 +266,59 @@ class TestDegradation:
         dump.write_text("[]", encoding="utf-8")
         with pytest.raises(ReproError, match="not a directory"):
             merge_into(dump, [shard_caches / "shard1"])
+
+
+class TestDryRun:
+    """``merge --dry-run``: full validation, zero writes."""
+
+    def test_dry_run_counts_without_writing(self, shard_caches):
+        dest = shard_caches / "merged"
+        summary = merge_into(
+            dest,
+            [shard_caches / "shard1", shard_caches / "shard2"],
+            dry_run=True,
+        )
+        assert summary.dry_run
+        assert summary.written == 2
+        assert summary.identical == 0
+        assert summary.conflicts == ()
+        assert "dry-run: would merge" in str(summary)
+        assert not dest.exists()
+
+    def test_dry_run_counts_match_the_real_merge(self, shard_caches):
+        dest = shard_caches / "merged"
+        sources = [shard_caches / "shard1", shard_caches / "shard2"]
+        dry = merge_into(dest, sources, dry_run=True)
+        wet = merge_into(dest, sources)
+        assert (dry.written, dry.identical, dry.skipped) == (
+            wet.written, wet.identical, wet.skipped
+        )
+
+    def test_dry_run_collects_conflicts_instead_of_raising(
+        self, shard_caches
+    ):
+        entry = next((shard_caches / "shard1").glob("*.json"))
+        payload = json.loads(entry.read_text(encoding="utf-8"))
+        payload["result"]["vim_ms"] *= 2
+        entry.write_text(json.dumps(payload), encoding="utf-8")
+        dest = shard_caches / "merged"
+        summary = merge_into(
+            dest,
+            [shard_caches / "shard1", shard_caches / "full"],
+            dry_run=True,
+        )
+        assert len(summary.conflicts) == 1
+        assert "conflicting results for config" in str(summary.conflicts[0])
+        assert not dest.exists()
+
+    def test_dry_run_leaves_existing_destination_untouched(
+        self, shard_caches
+    ):
+        dest = shard_caches / "merged"
+        merge_into(dest, [shard_caches / "shard1"])
+        before = _files(dest)
+        summary = merge_into(
+            dest, [shard_caches / "shard2"], dry_run=True
+        )
+        assert summary.written == 1
+        assert _files(dest) == before

@@ -1,0 +1,325 @@
+"""Tests for the result-store layer (``repro.exp.store``).
+
+The :class:`~repro.exp.store.ResultStore` protocol is the one contract
+between the sweep engine and everything that reads results back
+(merge, diff, report, history), so its invariants are pinned
+backend-parametrised: whatever holds for the JSON directory must hold
+for SQLite, and a store migrated across backends must reproduce
+byte-identical reports and the original files on the way back.
+"""
+
+import json
+import random
+import sqlite3
+
+import pytest
+
+from repro.errors import ReproError
+from repro.exp import run_sweep
+from repro.exp.cache import SweepCache
+from repro.exp.merge import migrate_store
+from repro.exp.report import report_from_cache
+from repro.exp.spec import CACHE_VERSION, SweepSpec, grid_fingerprint
+from repro.exp.store import (
+    STORES,
+    JsonDirStore,
+    SqliteStore,
+    is_sqlite_file,
+    open_store,
+    store_kind_of,
+)
+
+#: A fast 2-cell grid (1 KB vector-add, two policies).
+GRID = SweepSpec(apps=("vadd",), input_bytes=(1024,), policies=("fifo", "lru"))
+
+
+def _store_path(tmp_path, kind):
+    return tmp_path / ("store.sqlite" if kind == "sqlite" else "store")
+
+
+@pytest.fixture(params=STORES)
+def populated(request, tmp_path):
+    """One store per backend holding the 2-cell GRID, plus its rows."""
+    path = _store_path(tmp_path, request.param)
+    result = run_sweep(GRID, cache_dir=path, store_kind=request.param)
+    return path, request.param, result.rows
+
+
+class TestProtocolConformance:
+    def test_kind_and_len(self, populated):
+        path, kind, rows = populated
+        with open_store(path) as store:
+            assert store.kind == kind
+            assert len(store) == len(rows) == 2
+
+    def test_get_hits_modulo_engine(self, populated):
+        from dataclasses import replace
+
+        path, _kind, rows = populated
+        with open_store(path) as store:
+            for row in rows:
+                assert store.get(row.config) == row
+                # Engine is excluded from cell identity: a row priced
+                # by either backend serves both.
+                other = replace(row.config, engine="fast")
+                hit = store.get(other)
+                assert hit is not None and hit.key == row.key
+            assert store.get(replace(rows[0].config, input_bytes=4096)) is None
+
+    def test_iter_classified_key_sorted(self, populated):
+        path, _kind, _rows = populated
+        with open_store(path) as store:
+            entries = list(store.iter_classified())
+        assert [status for _o, status, _r in entries] == ["ok", "ok"]
+        keys = [result.key for _o, _s, result in entries]
+        assert keys == sorted(keys)
+
+    def test_iter_report_rows_label_key_sorted(self, populated):
+        path, _kind, _rows = populated
+        with open_store(path) as store:
+            rows = list(store.iter_report_rows())
+        assert [(r.label, r.key) for r in rows] == sorted(
+            (r.label, r.key) for r in rows
+        )
+
+    def test_counts_and_identical_report(self, populated):
+        path, _kind, _rows = populated
+        with open_store(path) as store:
+            counts = store.counts()
+        assert (counts.ok, counts.stale, counts.invalid) == (2, 0, 0)
+        assert counts.skipped == 0 and counts.total == 2
+
+    def test_rerun_simulates_nothing(self, populated):
+        path, _kind, _rows = populated
+        result = run_sweep(GRID, cache_dir=path)
+        assert result.executed == 0
+        assert result.cached == 2
+
+
+class TestLenCountsOnlyLoadableRows:
+    """Regression: ``len`` used to count every ``*.json`` file.
+
+    On the seed, ``SweepCache.__len__`` counted directory entries, so
+    a corrupt file or a stale-version row inflated the count past what
+    any consumer could actually load.  The store protocol pins the
+    corrected semantics on both backends.
+    """
+
+    def test_json_corrupt_and_stale_files_not_counted(self, tmp_path):
+        run_sweep(GRID, cache_dir=tmp_path)
+        (tmp_path / "0123456789abcdef.json").write_text("{not json")
+        stale_payload = {
+            "version": CACHE_VERSION - 1,
+            "result": {"anything": True},
+        }
+        (tmp_path / "fedcba9876543210.json").write_text(
+            json.dumps(stale_payload)
+        )
+        assert len(SweepCache(tmp_path)) == 2  # the seed said 4
+        with open_store(tmp_path) as store:
+            assert len(store) == 2
+            counts = store.counts()
+        assert counts.ok == 2
+        assert counts.skipped == 2
+
+    def test_sqlite_stale_versions_not_counted(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        run_sweep(GRID, cache_dir=path)
+        db = sqlite3.connect(path)
+        db.execute(
+            "UPDATE results SET cache_version = cache_version - 1 "
+            "WHERE rowid = 1"
+        )
+        db.commit()
+        db.close()
+        with open_store(path) as store:
+            assert len(store) == 1
+            assert store.counts().stale == 1
+
+
+class TestSqliteVersioning:
+    def test_identical_reput_appends_nothing(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        rows = run_sweep(GRID, cache_dir=path).rows
+        with open_store(path, create=True) as store:
+            for row in rows:
+                store.put(row)
+            versions = [v for _k, _l, v, _r, _res in store.iter_versions()]
+        assert versions == [1, 1]
+
+    def test_changed_payload_appends_next_version(self, tmp_path):
+        from dataclasses import replace
+
+        path = tmp_path / "store.sqlite"
+        rows = run_sweep(GRID, cache_dir=path).rows
+        changed = replace(rows[0], vim_ms=rows[0].vim_ms + 1.0)
+        with open_store(path) as store:
+            store.put(changed)
+            latest = store.get(rows[0].config)
+            versions = {
+                key: version
+                for key, _l, version, _r, _res in store.iter_versions()
+            }
+        assert latest == changed  # reads serve the latest version
+        assert versions[rows[0].key] == 2
+
+    def test_each_writing_open_is_one_run(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        run_sweep(GRID, cache_dir=path)
+        run_sweep(
+            SweepSpec(apps=("vadd",), input_bytes=(2048,)), cache_dir=path
+        )
+        with open_store(path) as store:
+            runs = store.runs()
+        assert [run.rows for run in runs] == [2, 1]
+        assert [run.run_id for run in runs] == [1, 2]
+
+    def test_readonly_open_records_no_run(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        run_sweep(GRID, cache_dir=path)
+        with open_store(path) as store:
+            list(store.iter_report_rows())
+        with open_store(path) as store:
+            assert len(store.runs()) == 1
+
+    def test_wal_mode_enabled(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        run_sweep(GRID, cache_dir=path)
+        db = sqlite3.connect(path)
+        assert db.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        db.close()
+
+    def test_metric_columns_match_payload(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        rows = run_sweep(GRID, cache_dir=path).rows
+        db = sqlite3.connect(path)
+        by_key = {
+            key: (vim_ms, faults)
+            for key, vim_ms, faults in db.execute(
+                "SELECT key, vim_ms, page_faults FROM results"
+            )
+        }
+        db.close()
+        for row in rows:
+            assert by_key[row.key] == (row.vim_ms, row.page_faults)
+
+    def test_json_store_has_no_history(self, tmp_path):
+        run_sweep(GRID, cache_dir=tmp_path)
+        with open_store(tmp_path) as store:
+            assert store.runs() == ()
+            with pytest.raises(ReproError, match="repro migrate"):
+                list(store.iter_versions())
+
+
+class TestOpenStore:
+    def test_detects_existing_backends(self, tmp_path):
+        sqlite_path = tmp_path / "odd-name"  # magic beats the suffix
+        run_sweep(GRID, cache_dir=sqlite_path, store_kind="sqlite")
+        json_path = tmp_path / "cache"
+        run_sweep(GRID, cache_dir=json_path)
+        assert is_sqlite_file(sqlite_path)
+        assert store_kind_of(sqlite_path) == "sqlite"
+        assert store_kind_of(json_path) == "json"
+        assert isinstance(open_store(sqlite_path), SqliteStore)
+        assert isinstance(open_store(json_path), JsonDirStore)
+
+    def test_missing_path_infers_kind_from_suffix(self, tmp_path):
+        assert store_kind_of(tmp_path / "x.sqlite") == "sqlite"
+        assert store_kind_of(tmp_path / "x.sqlite3") == "sqlite"
+        assert store_kind_of(tmp_path / "x.db") == "sqlite"
+        assert store_kind_of(tmp_path / "x") == "json"
+
+    def test_missing_path_without_create_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="does not exist"):
+            open_store(tmp_path / "missing")
+
+    def test_kind_contradiction_is_an_error(self, tmp_path):
+        run_sweep(GRID, cache_dir=tmp_path / "cache")
+        with pytest.raises(ReproError, match="is a json store"):
+            open_store(tmp_path / "cache", kind="sqlite")
+
+    def test_row_dump_is_not_a_store(self, tmp_path):
+        dump = tmp_path / "rows.json"
+        dump.write_text("[]")
+        assert store_kind_of(dump) is None
+        with pytest.raises(ReproError, match="not a result store"):
+            open_store(dump)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="unknown store kind"):
+            open_store(tmp_path / "x", kind="parquet", create=True)
+
+    def test_sweep_store_contradiction_fails_before_simulating(
+        self, tmp_path
+    ):
+        run_sweep(GRID, cache_dir=tmp_path / "cache")
+        with pytest.raises(ReproError, match="is a json store"):
+            run_sweep(GRID, cache_dir=tmp_path / "cache", store_kind="sqlite")
+
+
+#: Seeded-random grids for the migration round-trip property (same
+#: regression-corpus convention as test_property_invariants: append,
+#: never reorder).
+def _random_specs(count):
+    rng = random.Random(0xC0FFEE)
+    pools = {
+        "apps": ("vadd", "synthetic"),
+        "input_bytes": (1024, 2048),
+        "policies": ("fifo", "lru"),
+        "seeds": (1, 2),
+    }
+    for _ in range(count):
+        yield SweepSpec(**{
+            axis: tuple(
+                rng.sample(values, rng.randint(1, len(values)))
+            )
+            for axis, values in pools.items()
+        })
+
+
+class TestMigrationRoundTrip:
+    """JSON -> SQLite -> JSON must be lossless to the byte."""
+
+    @pytest.mark.parametrize(
+        "spec", _random_specs(5), ids=lambda s: grid_fingerprint(s.expand())
+    )
+    def test_round_trip_property(self, tmp_path, spec):
+        original = tmp_path / "original"
+        run_sweep(spec, cache_dir=original)
+        sqlite_path = tmp_path / "migrated.sqlite"
+        back = tmp_path / "back"
+        migrate_store(original, sqlite_path)
+        migrate_store(sqlite_path, back)
+        read = {
+            path.name: path.read_bytes()
+            for path in sorted(original.glob("*.json"))
+        }
+        assert read == {
+            path.name: path.read_bytes()
+            for path in sorted(back.glob("*.json"))
+        }
+        # Same rows in, same report out — and the same fingerprint, so
+        # the CI cache key is invariant under migration.
+        report_md = report_from_cache(original)
+        assert report_from_cache(sqlite_path) == report_md
+        assert report_from_cache(back) == report_md
+        from repro.exp.spec import fingerprint_from_keys
+
+        expected = grid_fingerprint(spec.expand())
+        for path in (original, sqlite_path, back):
+            with open_store(path) as store:
+                keys = [r.key for r in store.iter_rows()]
+            assert keys == sorted(keys)
+            assert fingerprint_from_keys(keys) == expected
+
+    def test_migrated_fingerprint_matches(self, tmp_path):
+        from repro.exp.spec import fingerprint_from_keys
+
+        original = tmp_path / "original"
+        run_sweep(GRID, cache_dir=original)
+        sqlite_path = tmp_path / "migrated.sqlite"
+        migrate_store(original, sqlite_path)
+        with open_store(original) as a, open_store(sqlite_path) as b:
+            fp_a = fingerprint_from_keys(r.key for r in a.iter_rows())
+            fp_b = fingerprint_from_keys(r.key for r in b.iter_rows())
+        assert fp_a == fp_b == grid_fingerprint(GRID.expand())

@@ -137,6 +137,52 @@ class TestCheckerCatchesRot:
         )
         assert check_docs.check_engines(page) == []
 
+    def test_stale_store_list_detected(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "pick `--store {json,parquet}` for the backend\n",
+            encoding="utf-8",
+        )
+        failures = check_docs.check_store_kinds(page)
+        assert len(failures) == 1
+        assert "stale store-backend list" in failures[0]
+
+    def test_current_store_list_passes(self, tmp_path):
+        from repro.exp.store import STORES
+
+        page = tmp_path / "page.md"
+        page.write_text(
+            f"pick `--store {{{','.join(STORES)}}}`\n", encoding="utf-8"
+        )
+        assert check_docs.check_store_kinds(page) == []
+
+    def test_undocumented_subcommand_detected(self, tmp_path):
+        # A page that never writes `repro migrate` / `repro history`
+        # misses those subcommands.
+        page = tmp_path / "page.md"
+        page.write_text("only repro sweep here\n", encoding="utf-8")
+        failures = check_docs.check_subcommands_documented(page)
+        assert any("repro migrate" in f for f in failures)
+        assert any("repro history" in f for f in failures)
+        assert all("undocumented" in f for f in failures)
+
+    def test_readme_documents_every_subcommand(self):
+        assert check_docs.check_subcommands_documented(
+            REPO_ROOT / "README.md"
+        ) == []
+
+    def test_store_commands_are_covered_by_the_checker(self):
+        # The coverage direction must include the store-layer
+        # subcommands, so adding a flag there without documenting it
+        # fails the gate.
+        for command in ("merge", "migrate", "history"):
+            assert command in check_docs.DOCUMENTED_COMMANDS
+        _every, per_command = check_docs._parser_options()
+        assert "--dry-run" in per_command["merge"]
+        assert "--store" in per_command["migrate"]
+        assert "--cells" in per_command["history"]
+        assert "--group-by" in per_command["diff"]
+
     def test_undocumented_cli_flag_detected(self, tmp_path):
         # A page mentioning no flags at all misses every sweep and
         # diff option.

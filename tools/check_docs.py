@@ -17,17 +17,22 @@ Three guarantees over ``README.md`` and every ``docs/*.md``:
 3. **Axis-value lists are current.**  Every ``--transfer {...}`` list
    must match ``repro.exp.spec.TRANSFERS``, every ``--format {...}``
    list must match ``repro.exp.report.FORMATS``, every ``--engine
-   {...}`` list must match ``repro.sim.engine.ENGINES``, and every
-   ``--bands {...}`` list must match ``repro.exp.diff.BANDS`` exactly
-   — adding a value without documenting it (or documenting one that
-   does not exist) fails the job.
-4. **The CLI flag lists are current.**  Every ``repro sweep`` and
-   ``repro diff`` option the parser defines (``--shard``,
-   ``--report``, ``--baseline``, ``--rtol``, …) must be mentioned in
-   README.md, and every inline-code flag the README mentions must
+   {...}`` list must match ``repro.sim.engine.ENGINES``, every
+   ``--bands {...}`` list must match ``repro.exp.diff.BANDS``, and
+   every ``--store {...}`` list must match
+   ``repro.exp.store.STORES`` exactly — adding a value without
+   documenting it (or documenting one that does not exist) fails the
+   job.
+4. **The CLI flag lists are current.**  Every option the parser
+   defines on the :data:`DOCUMENTED_COMMANDS` subcommands (``sweep``,
+   ``merge``, ``migrate``, ``history``, ``diff``) must be mentioned
+   in README.md, and every inline-code flag the README mentions must
    exist on some ``repro`` subcommand — renaming or removing a flag
-   without updating the docs fails the job (both directions, for both
-   subcommands).
+   without updating the docs fails the job (both directions).
+5. **Every subcommand is documented.**  Each subcommand the parser
+   registers must appear in README.md as ``repro <name>`` — adding a
+   subcommand (``migrate``, ``history``, …) without documenting it
+   fails the job.
 
 ``main()`` returns the number of failing checks; the process exit
 status is 1 if anything failed, else 0 (a raw count would wrap modulo
@@ -51,6 +56,7 @@ from repro.cli import iter_option_actions  # noqa: E402  (repo import)
 from repro.exp.diff import BANDS  # noqa: E402
 from repro.exp.report import FORMATS  # noqa: E402
 from repro.exp.spec import TRANSFERS  # noqa: E402
+from repro.exp.store import STORES  # noqa: E402
 from repro.sim.engine import ENGINES  # noqa: E402
 
 #: Markdown files the checker covers.
@@ -81,6 +87,8 @@ _FORMAT_LIST_RE = re.compile(r"--format[ \t]*\n?[ \t]*\{([^}]*)\}")
 _ENGINE_LIST_RE = re.compile(r"--engine[ \t]*\n?[ \t]*\{([^}]*)\}")
 #: A documented tolerance-band list: ``--bands {exact,cv}``.
 _BANDS_LIST_RE = re.compile(r"--bands[ \t]*\n?[ \t]*\{([^}]*)\}")
+#: A documented store-backend list: ``--store {json,sqlite}``.
+_STORE_LIST_RE = re.compile(r"--store[ \t]*\n?[ \t]*\{([^}]*)\}")
 #: An inline-code span (fenced blocks are stripped before scanning).
 _CODE_SPAN_RE = re.compile(r"`([^`]+)`")
 #: A ``--flag`` token anywhere inside a span.
@@ -219,10 +227,17 @@ def check_bands(path: Path) -> list[str]:
     )
 
 
+def check_store_kinds(path: Path) -> list[str]:
+    """Stale ``--store {...}`` lists vs :data:`repro.exp.store.STORES`."""
+    return _check_value_list(
+        path, _STORE_LIST_RE, STORES, "store-backend"
+    )
+
+
 #: Subcommands whose full flag set must be documented in README.md
 #: (the coverage direction; the stale-mention direction covers every
 #: subcommand automatically).
-DOCUMENTED_COMMANDS = ("sweep", "diff")
+DOCUMENTED_COMMANDS = ("sweep", "merge", "migrate", "history", "diff")
 
 
 @functools.lru_cache(maxsize=1)
@@ -292,6 +307,25 @@ def check_cli_flags(path: Path) -> list[str]:
     return failures + check_flag_mentions(path)
 
 
+def check_subcommands_documented(path: Path) -> list[str]:
+    """Every registered subcommand must appear as ``repro <name>``.
+
+    A new subcommand (``migrate``, ``history``, …) that never shows up
+    in the README is invisible to users; requiring the literal
+    ``repro <name>`` spelling also guarantees at least one usable
+    invocation example exists.
+    """
+    failures = []
+    text = path.read_text(encoding="utf-8")
+    _every, per_command = _parser_options()
+    for command in sorted(per_command):
+        if not re.search(rf"repro {re.escape(command)}\b", text):
+            failures.append(
+                f"{_rel(path)}: subcommand `repro {command}` is undocumented"
+            )
+    return failures
+
+
 def main() -> int:
     failures: list[str] = []
     checked_blocks = 0
@@ -307,16 +341,19 @@ def main() -> int:
         failures += check_report_formats(path)
         failures += check_engines(path)
         failures += check_bands(path)
+        failures += check_store_kinds(path)
         if name != "README.md":
             # README gets the full two-direction check below; other
             # docs get the stale-mention direction only.
             failures += check_flag_mentions(path)
     failures += check_cli_flags(REPO_ROOT / "README.md")
+    failures += check_subcommands_documented(REPO_ROOT / "README.md")
     for name in AXIS_LIST_FILES:
         failures += check_transfer_modes(REPO_ROOT / name)
         failures += check_report_formats(REPO_ROOT / name)
         failures += check_engines(REPO_ROOT / name)
         failures += check_bands(REPO_ROOT / name)
+        failures += check_store_kinds(REPO_ROOT / name)
     for failure in failures:
         print(f"FAIL {failure}")
     print(
