@@ -1,0 +1,145 @@
+"""SERVICE — sweep-service submit-to-done wall time, warm vs cold.
+
+Times the distributed path itself, not the simulator: an in-process
+coordinator (real ``ThreadingHTTPServer``, real JSON protocol over
+localhost) with one worker thread.  The **warm** case submits a grid
+whose every cell is already in the store — 100% cache hits, so the
+number is pure coordinator/dedup/transport overhead and yields a
+hit-serving throughput; the **cold** case submits a small grid of real
+cells through the full lease → simulate → ingest loop.  Every
+``extra_info`` key is ``wall_``-prefixed on purpose: service latency
+is harness wall time on shared CI runners, so ``tools/bench_diff.py``
+reports these numbers but never gates on them (the byte-identity
+guarantee is gated by the tier-1 suite and the ``sweep-service`` CI
+job instead).
+"""
+
+import threading
+import time
+
+import pytest
+from conftest import emit
+
+from repro.exp.results import CellResult
+from repro.exp.service import ServiceServer, SweepService, submit_sweep
+from repro.exp.spec import SweepSpec
+from repro.exp.store import open_store
+from repro.exp.worker import run_worker
+
+#: Warm case: enough fabricated cells that per-hit overhead dominates.
+WARM_CELLS = 200
+#: Cold case: a small grid of real, fast cells (1 KB vector-add).
+COLD_GRID = SweepSpec(
+    apps=("vadd",), input_bytes=(1024,), policies=("fifo", "lru"),
+    page_bytes=(1024, 2048),
+)
+
+
+def _fake_result(config) -> CellResult:
+    seed = config.seed
+    return CellResult(
+        config=config,
+        key=config.key(),
+        label=config.label(),
+        workload=f"synthetic-{seed}",
+        sw_ms=10.0 + seed * 0.001,
+        vim_ms=2.0 + seed * 0.0005,
+        hw_ms=1.0,
+        sw_dp_ms=0.5,
+        sw_imu_ms=0.25,
+        sw_other_ms=0.25 + seed * 0.0005,
+        vim_speedup=(10.0 + seed * 0.001) / (2.0 + seed * 0.0005),
+        page_faults=seed % 97,
+        compulsory_loads=seed % 11,
+        evictions=seed % 7,
+        writebacks=seed % 5,
+        prefetches=0,
+        bytes_to_dpram=1024 * (seed % 13),
+        bytes_from_dpram=512 * (seed % 13),
+        tlb_hit_rate=0.9,
+    )
+
+
+class _Coordinator:
+    """An in-process coordinator + one worker thread, on port 0."""
+
+    def __init__(self, store_path):
+        self.service = SweepService(store_path, lease_timeout=30.0)
+        self.server = ServiceServer(("127.0.0.1", 0), self.service)
+        self.url = f"http://127.0.0.1:{self.server.server_address[1]}"
+        self._server_thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self._server_thread.start()
+        self._stop = threading.Event()
+        self._worker = threading.Thread(
+            target=run_worker,
+            kwargs=dict(url=self.url, worker_id="bench", poll=0.01,
+                        stop=self._stop, log=lambda message: None),
+            daemon=True,
+        )
+        self._worker.start()
+
+    def close(self):
+        self._stop.set()
+        self._worker.join(timeout=5)
+        self.server.shutdown()
+        self.server.server_close()
+        self.service.close()
+
+
+def _submit_timed(url, cells):
+    start = time.perf_counter()
+    outcome = submit_sweep(url, cells, poll=0.01)
+    return outcome, time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_submit(benchmark, tmp_path):
+    store_path = tmp_path / "service-store"
+    warm_spec = SweepSpec(
+        apps=("synthetic",), input_bytes=(1024,),
+        seeds=tuple(range(WARM_CELLS)),
+    )
+    # Pre-populate the store: the warm submission must simulate nothing.
+    with open_store(store_path, create=True) as store:
+        for config in warm_spec.expand():
+            store.put(_fake_result(config))
+
+    def run():
+        coordinator = _Coordinator(store_path)
+        try:
+            warm, warm_s = _submit_timed(
+                coordinator.url, warm_spec.expand()
+            )
+            cold, cold_s = _submit_timed(
+                coordinator.url, COLD_GRID.expand()
+            )
+            # Resubmitting the cold grid is the warm path for real
+            # cells: everything just simulated is now a hit.
+            rewarm, rewarm_s = _submit_timed(
+                coordinator.url, COLD_GRID.expand()
+            )
+        finally:
+            coordinator.close()
+        return warm, warm_s, cold, cold_s, rewarm, rewarm_s
+
+    warm, warm_s, cold, cold_s, rewarm, rewarm_s = benchmark.pedantic(
+        run, rounds=1
+    )
+    assert (warm.executed, warm.cached) == (0, WARM_CELLS)
+    assert (cold.executed, cold.cached) == (len(COLD_GRID.expand()), 0)
+    assert (rewarm.executed, rewarm.cached) == (0, len(COLD_GRID.expand()))
+    hits_per_s = WARM_CELLS / warm_s
+    benchmark.extra_info["wall_warm_submit_s"] = round(warm_s, 4)
+    benchmark.extra_info["wall_warm_hits_per_s"] = round(hits_per_s, 1)
+    benchmark.extra_info["wall_cold_submit_s"] = round(cold_s, 4)
+    benchmark.extra_info["wall_rewarm_submit_s"] = round(rewarm_s, 4)
+    emit(
+        "SERVICE submit-to-done (one in-process worker)",
+        f"warm ({WARM_CELLS} cells, 100% hits): {warm_s:.3f} s "
+        f"({hits_per_s:.0f} hits/s)\n"
+        f"cold ({len(COLD_GRID.expand())} real cells, 0 hits): "
+        f"{cold_s:.3f} s\n"
+        f"resubmit (100% hits): {rewarm_s:.3f} s",
+    )

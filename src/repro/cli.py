@@ -27,6 +27,10 @@ Usage::
         --group-by policy                # per-axis aggregate diff
     python -m repro history vim_ms results.sqlite \\
         --cells adpcm --last 5           # metric trend across runs
+    python -m repro serve --cache service-store     # sweep coordinator
+    python -m repro worker http://127.0.0.1:8037    # pull + simulate
+    python -m repro submit http://127.0.0.1:8037 \\
+        --app adpcm --kb 4 8 --policy fifo lru   # grid via the service
 
 The heavy lifting lives in :mod:`repro.exp`; the CLI is a formatting
 shell around it, so everything printed here is also unit-tested.
@@ -68,7 +72,9 @@ from repro.exp.report import (
     stacked_bar_chart,
     stream_report,
 )
+from repro.exp.service import serve_forever, submit_sweep
 from repro.exp.store import STORES, is_sqlite_file, open_store, store_kind_of
+from repro.exp.worker import run_worker
 from repro.exp.spec import (
     APPS,
     PREFETCHES,
@@ -212,16 +218,16 @@ def iter_option_actions():
             yield name, action
 
 
-@functools.lru_cache(maxsize=1)
-def _sweep_actions() -> tuple[argparse.Action, ...]:
-    """The ``sweep`` subparser's actions (for guard introspection).
+@functools.lru_cache(maxsize=None)
+def _command_actions(command: str) -> tuple[argparse.Action, ...]:
+    """One subparser's actions (for guard introspection).
 
-    Cached: the parser shape is static, and both stray-flag guards
+    Cached: the parser shape is static, and the stray-flag guards
     would otherwise rebuild the whole parser per call.
     """
     return tuple(
-        action for command, action in iter_option_actions()
-        if command == "sweep"
+        action for owner, action in iter_option_actions()
+        if owner == command
     )
 
 
@@ -241,8 +247,12 @@ _PRESET_FLAGS = frozenset(
 ) | _REPORT_FLAGS
 
 
-def _explicit_flags(args: argparse.Namespace, allowed: frozenset) -> list[str]:
-    """Sweep flags set by the user whose dest is not in *allowed*.
+def _explicit_flags(
+    args: argparse.Namespace,
+    allowed: frozenset,
+    command: str = "sweep",
+) -> list[str]:
+    """Flags of *command* set by the user whose dest is not in *allowed*.
 
     Catches both a non-default value and a flag explicitly spelled
     with its default (e.g. ``--app adpcm``), which a value comparison
@@ -250,7 +260,7 @@ def _explicit_flags(args: argparse.Namespace, allowed: frozenset) -> list[str]:
     """
     argv = getattr(args, "argv", ())
     found = set()
-    for action in _sweep_actions():
+    for action in _command_actions(command):
         options = [o for o in action.option_strings if o.startswith("--")]
         if action.dest in allowed or action.dest == "help" or not options:
             continue
@@ -371,6 +381,48 @@ def _print_report(args: argparse.Namespace) -> None:
     ))
 
 
+def _print_sweep_rows(cell_rows, executed: int, cached: int) -> None:
+    """The sweep result table and summary line.
+
+    Shared by ``repro sweep`` and ``repro submit`` — a submitted
+    sweep's stdout is byte-identical to the local run's, summary line
+    included (CI greps it for ``0 simulated`` on resubmission).
+    """
+    multi_tenant = any(r.config.tenants > 1 for r in cell_rows)
+    replicated = any(r.config.replicates > 1 for r in cell_rows)
+    headers = ["cell", "total ms", "hw ms", "SW(DP) ms", "SW(IMU) ms",
+               "speedup", "faults", "prefetches"]
+    rows = [[r.label, r.vim_ms, r.hw_ms, r.sw_dp_ms, r.sw_imu_ms,
+             r.vim_speedup, r.page_faults, r.prefetches] for r in cell_rows]
+    if multi_tenant:
+        headers += ["evictions", "steals"]
+        for row, r in zip(rows, cell_rows):
+            row += [r.evictions, r.steals]
+    if replicated:
+        # The primary columns report replicate 0; surface the
+        # cross-replicate spread next to them (the cv gate's inputs).
+        headers += ["ms mean", "ms CV", "faults mean", "faults CV"]
+        for row, r in zip(rows, cell_rows):
+            row += [r.vim_ms_mean, r.vim_ms_cv,
+                    r.page_faults_mean, r.page_faults_cv]
+    print(format_table(headers, rows))
+    if multi_tenant:
+        print()
+        print(format_table(
+            ["tenant", "total ms", "faults", "evictions", "steals", "lost"],
+            [[f"{r.label}/{name}", ms, faults, evictions, steals, lost]
+             for r in cell_rows
+             for name, ms, faults, evictions, steals, lost in zip(
+                 r.tenant_labels, r.tenant_ms, r.tenant_faults,
+                 r.tenant_evictions, r.tenant_steals, r.tenant_pages_lost,
+             )],
+        ))
+    print(
+        f"\n{len(cell_rows)} cells: {executed} simulated, "
+        f"{cached} from cache"
+    )
+
+
 def _print_sweep(args: argparse.Namespace) -> None:
     if args.report:
         _print_report(args)
@@ -443,39 +495,7 @@ def _print_sweep(args: argparse.Namespace) -> None:
     result = exp.run_sweep(
         spec, jobs=args.jobs, cache_dir=args.cache, store_kind=args.store,
     )
-    multi_tenant = any(r.config.tenants > 1 for r in result.rows)
-    replicated = any(r.config.replicates > 1 for r in result.rows)
-    headers = ["cell", "total ms", "hw ms", "SW(DP) ms", "SW(IMU) ms",
-               "speedup", "faults", "prefetches"]
-    rows = [[r.label, r.vim_ms, r.hw_ms, r.sw_dp_ms, r.sw_imu_ms,
-             r.vim_speedup, r.page_faults, r.prefetches] for r in result.rows]
-    if multi_tenant:
-        headers += ["evictions", "steals"]
-        for row, r in zip(rows, result.rows):
-            row += [r.evictions, r.steals]
-    if replicated:
-        # The primary columns report replicate 0; surface the
-        # cross-replicate spread next to them (the cv gate's inputs).
-        headers += ["ms mean", "ms CV", "faults mean", "faults CV"]
-        for row, r in zip(rows, result.rows):
-            row += [r.vim_ms_mean, r.vim_ms_cv,
-                    r.page_faults_mean, r.page_faults_cv]
-    print(format_table(headers, rows))
-    if multi_tenant:
-        print()
-        print(format_table(
-            ["tenant", "total ms", "faults", "evictions", "steals", "lost"],
-            [[f"{r.label}/{name}", ms, faults, evictions, steals, lost]
-             for r in result.rows
-             for name, ms, faults, evictions, steals, lost in zip(
-                 r.tenant_labels, r.tenant_ms, r.tenant_faults,
-                 r.tenant_evictions, r.tenant_steals, r.tenant_pages_lost,
-             )],
-        ))
-    print(
-        f"\n{len(result)} cells: {result.executed} simulated, "
-        f"{result.cached} from cache"
-    )
+    _print_sweep_rows(result.rows, result.executed, result.cached)
     if args.json:
         payload = [r.to_dict() for r in result.rows]
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -595,6 +615,130 @@ def _print_run(args: argparse.Namespace) -> None:
         print(f"{workload.name}: typical  unavailable ({error})")
 
 
+#: Submit flags that stay meaningful alongside ``--preset`` — the
+#: service analogue of :data:`_PRESET_FLAGS` (submit has no run/report
+#: flags; the coordinator owns caching and scheduling).
+_SUBMIT_PRESET_FLAGS = frozenset({"preset", "engine", "poll", "timeout"})
+
+
+def _print_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run a sweep coordinator until interrupted."""
+    return serve_forever(
+        args.cache,
+        host=args.host,
+        port=args.port,
+        store_kind=args.store,
+        lease_timeout=args.lease_timeout,
+        max_attempts=args.max_attempts,
+        backoff=args.backoff,
+    )
+
+
+def _print_worker(args: argparse.Namespace) -> int:
+    """``repro worker URL``: pull and simulate cells until stopped."""
+    attempted = run_worker(
+        args.url, worker_id=args.id, poll=args.poll, max_idle=args.max_idle,
+    )
+    print(f"worker attempted {attempted} cell(s)")
+    return 0
+
+
+def _print_submit(args: argparse.Namespace) -> None:
+    """``repro submit URL``: run a grid through a coordinator.
+
+    The stdout contract is ``repro sweep``'s, byte for byte: the same
+    table, the same ``N cells: X simulated, Y from cache`` summary.
+    Progress goes to stderr so redirected output stays a pure report.
+    """
+    if args.preset:
+        ignored = _explicit_flags(args, _SUBMIT_PRESET_FLAGS, command="submit")
+        if ignored:
+            # Same contract as the sweep guard: an axis flag the preset
+            # would override must fail loudly, not submit a different
+            # grid than the user asked for.
+            raise ReproError(
+                f"--preset {args.preset} defines the whole grid; axis "
+                f"flag(s) {', '.join(ignored)} would be ignored — drop "
+                "them or drop --preset"
+            )
+    spec = spec_from_args(args)
+    cells = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
+    outcome = submit_sweep(
+        args.url,
+        cells,
+        poll=args.poll,
+        progress=lambda line: print(line, file=sys.stderr, flush=True),
+        timeout=args.timeout,
+    )
+    _print_sweep_rows(outcome.rows, outcome.executed, outcome.cached)
+
+
+def _add_grid_flags(parser: argparse.ArgumentParser) -> None:
+    """The design-space grid flags, shared by ``sweep`` and ``submit``.
+
+    Everything :func:`spec_from_args` reads lives here — axis flags,
+    ``--preset``, ``--typical``, ``--replicates`` and ``--engine`` —
+    so a grid means the same thing whether it runs locally or through
+    a coordinator.  Run/report flags (``--jobs``, ``--cache``,
+    ``--report``, …) stay on ``sweep``: the coordinator owns caching
+    and scheduling on the service path.
+    """
+    parser.add_argument("--app", nargs="+", default=["adpcm"], choices=APPS,
+                        help="workload axis")
+    parser.add_argument("--kb", type=int, nargs="+", default=[8],
+                        help="input-size axis (KB)")
+    parser.add_argument("--seed", type=int, nargs="+", default=[1],
+                        help="dataset seed axis")
+    parser.add_argument("--soc", nargs="+", default=["EPXA1"],
+                        choices=sorted(PRESETS), help="SoC preset axis")
+    parser.add_argument("--page", type=int, nargs="+", default=None,
+                        help="page-size axis (bytes; default: SoC preset)")
+    parser.add_argument("--policy", nargs="+", default=["fifo"],
+                        help="replacement-policy axis")
+    parser.add_argument("--transfer", nargs="+", default=["double"],
+                        choices=TRANSFERS, help="transfer-mode axis")
+    parser.add_argument("--prefetch", nargs="+", default=["none"],
+                        choices=PREFETCHES, help="prefetch axis")
+    parser.add_argument("--tlb", type=int, nargs="+", default=None,
+                        help="TLB-capacity axis (default: one per frame)")
+    parser.add_argument("--pipelined-too", action="store_true",
+                        help="also run every cell with the pipelined IMU")
+    parser.add_argument("--tenants", type=int, nargs="+", default=[1],
+                        help="tenant-count axis (processes sharing the "
+                             "DP-RAM)")
+    parser.add_argument("--tenant-mix", nargs="+", default=["same"],
+                        help="tenant app mix axis: 'same' or '+'-joined "
+                             "apps, e.g. adpcm+idea")
+    parser.add_argument("--tenant-repeats", type=int, nargs="+", default=[1],
+                        help="FPGA_EXECUTE calls per tenant axis")
+    parser.add_argument("--syn-stride", type=int, nargs="+", default=[1],
+                        help="synthetic hot-window stride axis (words; "
+                             "synthetic app cells only)")
+    parser.add_argument("--syn-locality", type=int, nargs="+", default=[80],
+                        help="synthetic hot-window hit percentage axis "
+                             "(0..100)")
+    parser.add_argument("--syn-read", type=int, nargs="+", default=[70],
+                        help="synthetic read-op percentage axis (0..100; "
+                             "the rest write)")
+    parser.add_argument("--syn-phases", type=int, nargs="+", default=[1],
+                        help="synthetic hot-window relocation count axis")
+    parser.add_argument("--replicates", type=int, default=1,
+                        help="independent replicate seeds per cell (one "
+                             "value, not an axis); above 1 every row gains "
+                             "mean/CV summary columns for repro diff "
+                             "--bands cv")
+    parser.add_argument("--preset", choices=sorted(_SWEEP_PRESETS),
+                        default=None,
+                        help="run a canonical grid (combining it with "
+                             "axis flags is an error)")
+    parser.add_argument("--typical", action="store_true",
+                        help="also run the typical (non-VIM) coprocessor")
+    parser.add_argument("--engine", default="reference", choices=ENGINES,
+                        help="simulation kernel backend for every cell "
+                             "(one value, not an axis: backends are "
+                             "result-equivalent and share cache cells)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for testing and sphinx docs)."""
     parser = argparse.ArgumentParser(
@@ -639,59 +783,7 @@ def build_parser() -> argparse.ArgumentParser:
         # would slip past it.
         allow_abbrev=False,
     )
-    sweep.add_argument("--app", nargs="+", default=["adpcm"], choices=APPS,
-                       help="workload axis")
-    sweep.add_argument("--kb", type=int, nargs="+", default=[8],
-                       help="input-size axis (KB)")
-    sweep.add_argument("--seed", type=int, nargs="+", default=[1],
-                       help="dataset seed axis")
-    sweep.add_argument("--soc", nargs="+", default=["EPXA1"],
-                       choices=sorted(PRESETS), help="SoC preset axis")
-    sweep.add_argument("--page", type=int, nargs="+", default=None,
-                       help="page-size axis (bytes; default: SoC preset)")
-    sweep.add_argument("--policy", nargs="+", default=["fifo"],
-                       help="replacement-policy axis")
-    sweep.add_argument("--transfer", nargs="+", default=["double"],
-                       choices=TRANSFERS, help="transfer-mode axis")
-    sweep.add_argument("--prefetch", nargs="+", default=["none"],
-                       choices=PREFETCHES, help="prefetch axis")
-    sweep.add_argument("--tlb", type=int, nargs="+", default=None,
-                       help="TLB-capacity axis (default: one per frame)")
-    sweep.add_argument("--pipelined-too", action="store_true",
-                       help="also run every cell with the pipelined IMU")
-    sweep.add_argument("--tenants", type=int, nargs="+", default=[1],
-                       help="tenant-count axis (processes sharing the DP-RAM)")
-    sweep.add_argument("--tenant-mix", nargs="+", default=["same"],
-                       help="tenant app mix axis: 'same' or '+'-joined "
-                            "apps, e.g. adpcm+idea")
-    sweep.add_argument("--tenant-repeats", type=int, nargs="+", default=[1],
-                       help="FPGA_EXECUTE calls per tenant axis")
-    sweep.add_argument("--syn-stride", type=int, nargs="+", default=[1],
-                       help="synthetic hot-window stride axis (words; "
-                            "synthetic app cells only)")
-    sweep.add_argument("--syn-locality", type=int, nargs="+", default=[80],
-                       help="synthetic hot-window hit percentage axis "
-                            "(0..100)")
-    sweep.add_argument("--syn-read", type=int, nargs="+", default=[70],
-                       help="synthetic read-op percentage axis (0..100; "
-                            "the rest write)")
-    sweep.add_argument("--syn-phases", type=int, nargs="+", default=[1],
-                       help="synthetic hot-window relocation count axis")
-    sweep.add_argument("--replicates", type=int, default=1,
-                       help="independent replicate seeds per cell (one "
-                            "value, not an axis); above 1 every row gains "
-                            "mean/CV summary columns for repro diff "
-                            "--bands cv")
-    sweep.add_argument("--preset", choices=sorted(_SWEEP_PRESETS),
-                       default=None,
-                       help="run a canonical grid (combining it with "
-                            "axis flags is an error)")
-    sweep.add_argument("--typical", action="store_true",
-                       help="also run the typical (non-VIM) coprocessor")
-    sweep.add_argument("--engine", default="reference", choices=ENGINES,
-                       help="simulation kernel backend for every cell "
-                            "(one value, not an axis: backends are "
-                            "result-equivalent and share cache cells)")
+    _add_grid_flags(sweep)
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes (cells are independent)")
     sweep.add_argument("--cache", default=None, metavar="PATH",
@@ -723,6 +815,72 @@ def build_parser() -> argparse.ArgumentParser:
                        help="annotate every numeric --report cell with its "
                             "delta vs this second cache (PR-vs-main reports)")
     sweep.set_defaults(func=_print_sweep)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a sweep coordinator (HTTP) for repro worker / submit",
+    )
+    serve.add_argument("--cache", required=True, metavar="PATH",
+                       help="the coordinator's result store: a cache "
+                            "directory or a .sqlite file (created if "
+                            "missing; submissions are deduped against it)")
+    serve.add_argument("--store", default=None, choices=STORES,
+                       help="backend for a not-yet-existing --cache "
+                            "(default: inferred from the path)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="address to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8037,
+                       help="port to bind (default: 8037)")
+    serve.add_argument("--lease-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="seconds a lease lives without a heartbeat "
+                            "before its cell is re-issued (default: 30)")
+    serve.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                       help="lease grants per cell before it is declared "
+                            "failed (default: 3)")
+    serve.add_argument("--backoff", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="re-queue backoff base: attempt n waits "
+                            "backoff * 2**(n-1) seconds (default: 1)")
+    serve.set_defaults(func=_print_serve)
+
+    worker = sub.add_parser(
+        "worker", help="pull and simulate cells from a sweep coordinator"
+    )
+    worker.add_argument("url", metavar="URL",
+                        help="coordinator base URL, e.g. "
+                             "http://127.0.0.1:8037")
+    worker.add_argument("--id", default=None, metavar="NAME",
+                        help="worker name on leases (default: host-pid; "
+                             "diagnostic only — identity never enters "
+                             "results)")
+    worker.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                        help="sleep between polls when no work is "
+                             "leasable (default: 0.5)")
+    worker.add_argument("--max-idle", type=float, default=None,
+                        metavar="SECONDS",
+                        help="exit after this long without work "
+                             "(default: poll forever)")
+    worker.set_defaults(func=_print_worker)
+
+    submit = sub.add_parser(
+        "submit",
+        help="run a design-space grid through a sweep coordinator",
+        # Same rationale as sweep: the --preset stray-flag guard works
+        # on spelled-out tokens.
+        allow_abbrev=False,
+    )
+    submit.add_argument("url", metavar="URL",
+                        help="coordinator base URL, e.g. "
+                             "http://127.0.0.1:8037")
+    _add_grid_flags(submit)
+    submit.add_argument("--poll", type=float, default=0.5, metavar="SECONDS",
+                        help="progress poll interval (default: 0.5)")
+    submit.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="give up if the job is not done after this "
+                             "long (default: wait forever)")
+    submit.set_defaults(func=_print_submit)
 
     merge = sub.add_parser(
         "merge", help="merge shard stores / row dumps into one store"

@@ -29,6 +29,11 @@ simulation.  This package makes that structure first-class:
   cell or aggregated per axis group (``--group-by``);
 * :mod:`~repro.exp.history` — per-run metric time series over an
   append-only store (``repro history``);
+* :mod:`~repro.exp.leasing`, :mod:`~repro.exp.service` and
+  :mod:`~repro.exp.worker` — the distributed executor: an HTTP
+  coordinator that dedups submissions against its store and leases
+  novel cells to a fault-tolerant pull-based worker pool
+  (``repro serve`` / ``repro worker`` / ``repro submit``);
 * :mod:`~repro.exp.api` — the paper's figure/ablation drivers as thin
   sweeps over this engine.
 

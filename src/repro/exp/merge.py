@@ -34,13 +34,17 @@ from repro.exp.results import CellResult
 from repro.exp.store import ResultStore, is_sqlite_file, open_store
 
 
-def _same_result(known: CellResult, other: CellResult) -> bool:
+def same_result(known: CellResult, other: CellResult) -> bool:
     """Row equality modulo the engine field.
 
     The engine backend is excluded from cell identity (backends are
     result-equivalent and share config hashes), so a reference shard
     and a fast shard of the same grid merge as identical rows rather
-    than conflicting.  Any other difference is a real conflict.
+    than conflicting.  Any other difference is a real conflict.  The
+    sweep service (:mod:`repro.exp.service`) ingests worker results
+    through this same predicate, so a duplicated completion (lease
+    expiry plus a late worker) is accepted when identical and refused
+    as a conflict otherwise — one equality contract store-wide.
     """
     if known == other:
         return True
@@ -252,7 +256,7 @@ def merge_into(
             if dest_store is not None else None
         )
         conflicted = False
-        if existing is not None and not _same_result(existing, first_result):
+        if existing is not None and not same_result(existing, first_result):
             conflicts.append(MergeConflict(
                 key=key,
                 source=first_origin,
@@ -268,7 +272,7 @@ def merge_into(
                 # Already contested; duplicate source copies must not
                 # inflate the conflict count.
                 continue
-            if _same_result(first_result, result):
+            if same_result(first_result, result):
                 identical += 1
             else:
                 conflicts.append(MergeConflict(

@@ -315,13 +315,26 @@ class SqliteStore(ResultStore):
         "(SELECT MAX(version) FROM results WHERE key = r.key)"
     )
 
-    def __init__(self, path: str | Path, create: bool = False) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        create: bool = False,
+        threadsafe: bool = False,
+    ) -> None:
         super().__init__(str(path))
         self.path = Path(path)
         if not create and not self.path.exists():
             raise ReproError(f"result store {self.path} does not exist")
         try:
-            self._db = sqlite3.connect(self.path, isolation_level=None)
+            # threadsafe drops sqlite3's same-thread check for callers
+            # that serialise access themselves (the sweep service holds
+            # one lock around every store operation but handles HTTP
+            # requests on per-connection threads).
+            self._db = sqlite3.connect(
+                self.path,
+                isolation_level=None,
+                check_same_thread=not threadsafe,
+            )
             self._db.execute("PRAGMA journal_mode=WAL")
             self._db.execute("PRAGMA busy_timeout=30000")
             self._db.execute("PRAGMA synchronous=NORMAL")
@@ -516,7 +529,10 @@ def store_kind_of(path: str | Path) -> str | None:
 
 
 def open_store(
-    path: str | Path, kind: str | None = None, create: bool = False
+    path: str | Path,
+    kind: str | None = None,
+    create: bool = False,
+    threadsafe: bool = False,
 ) -> ResultStore:
     """Open the result store at *path*, selecting the backend by
     inspection.
@@ -535,6 +551,11 @@ def open_store(
         directory lazily on first put, a SQLite store initialises its
         schema immediately.  With the default ``False`` a missing path
         raises — readers must not conjure empty stores.
+    threadsafe : bool
+        Allow the returned store to be used from threads other than
+        the opening one, for callers that serialise access themselves
+        (the sweep service).  Only the SQLite backend behaves
+        differently (sqlite3's same-thread check is dropped).
 
     Raises
     ------
@@ -564,5 +585,7 @@ def open_store(
             raise ReproError(f"result store {path} does not exist")
         kind = kind or inferred
     if kind == "sqlite":
-        return SqliteStore(path, create=create or path.exists())
+        return SqliteStore(
+            path, create=create or path.exists(), threadsafe=threadsafe
+        )
     return JsonDirStore(path, create=create and not path.is_dir())

@@ -1,0 +1,144 @@
+"""The pull-based sweep worker: lease, simulate, report, repeat.
+
+``repro worker URL`` runs this loop against a coordinator
+(:mod:`repro.exp.service`).  Workers are deliberately stateless and
+anonymous: all scheduling state lives on the coordinator's lease
+board, so a worker may be killed at any instant (CI does exactly that,
+with ``kill -9``) and the sweep still completes — the lease expires
+and the cell is re-issued to whichever worker asks next.
+
+While a cell simulates, a daemon heartbeat thread renews the lease at
+a third of its timeout, so long cells are not misread as worker death;
+a cell that *raises* is reported through ``/api/fail`` (the board
+re-queues it with backoff and a bounded attempt budget) rather than
+crashing the worker loop.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+import threading
+import time
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.exp.cell import run_cell
+from repro.exp.service import call
+from repro.exp.spec import CellConfig
+
+
+def _default_log(message: str) -> None:
+    print(f"worker: {message}", file=sys.stderr, flush=True)
+
+
+def _heartbeat_loop(url: str, lease_id: str, interval: float,
+                    done: threading.Event, log: Callable[[str], None]) -> None:
+    while not done.wait(interval):
+        try:
+            reply = call(url, "/api/heartbeat", {"lease": lease_id})
+        except ReproError as error:
+            log(f"heartbeat for {lease_id} failed: {error}")
+            continue
+        if not reply.get("ok"):
+            # The lease expired (or the cell was finished elsewhere);
+            # the simulation result is still worth reporting — cells
+            # are deterministic, so the coordinator will accept a late
+            # identical completion.
+            log(f"lease {lease_id} is stale; finishing anyway")
+            return
+
+
+def work_one(url: str, worker_id: str,
+             log: Callable[[str], None] = _default_log) -> bool:
+    """Lease and run one cell; ``False`` when no work was available."""
+    reply = call(url, "/api/lease", {"worker": worker_id})
+    lease = reply.get("lease")
+    if not lease:
+        return False
+    lease_id = lease["lease"]
+    done = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(url, lease_id, max(lease["timeout"] / 3.0, 0.1), done, log),
+        daemon=True,
+    )
+    beat.start()
+    try:
+        config = CellConfig.from_dict(lease["config"])
+        log(f"running cell {lease['key']} under {lease_id}")
+        result = run_cell(config)
+    except Exception as error:  # report, re-queue, keep the loop alive
+        done.set()
+        call(url, "/api/fail", {"lease": lease_id, "error": str(error)})
+        log(f"cell {lease['key']} failed: {error}")
+        return True
+    done.set()
+    reply = call(url, "/api/complete",
+                 {"lease": lease_id, "result": result.to_dict()})
+    if reply.get("stale"):
+        log(f"late completion for {lease['key']} (lease had expired)")
+    else:
+        log(f"completed cell {lease['key']}")
+    return True
+
+
+def run_worker(
+    url: str,
+    worker_id: str | None = None,
+    poll: float = 0.5,
+    stop: threading.Event | None = None,
+    max_idle: float | None = None,
+    log: Callable[[str], None] = _default_log,
+) -> int:
+    """``repro worker``: pull cells from *url* until stopped.
+
+    Parameters
+    ----------
+    url : str
+        Coordinator base URL.
+    worker_id : str, optional
+        Name reported on leases (defaults to ``host-pid``); purely
+        diagnostic — identity never enters result payloads.
+    poll : float
+        Seconds to sleep when the coordinator has nothing leasable.
+    stop : threading.Event, optional
+        Cooperative shutdown signal (used by in-process test workers).
+    max_idle : float, optional
+        Exit after this many consecutive idle seconds (``--max-idle``);
+        by default the worker polls forever.
+
+    Returns
+    -------
+    int
+        Cells attempted (completed or failed) over the worker's life.
+    """
+    if worker_id is None:
+        import os
+
+        worker_id = f"{socket.gethostname()}-{os.getpid()}"
+    log(f"{worker_id} polling {url}")
+    attempted = 0
+    idle_since: float | None = None
+    while stop is None or not stop.is_set():
+        try:
+            worked = work_one(url, worker_id, log=log)
+        except ReproError as error:
+            # A dead/draining coordinator is the worker's stop signal.
+            log(f"{error}; exiting")
+            break
+        if worked:
+            attempted += 1
+            idle_since = None
+            continue
+        now = time.monotonic()
+        if idle_since is None:
+            idle_since = now
+        if max_idle is not None and now - idle_since >= max_idle:
+            log(f"{worker_id} idle for {max_idle:.1f}s; exiting")
+            break
+        if stop is not None:
+            stop.wait(poll)
+        else:
+            time.sleep(poll)
+    return attempted

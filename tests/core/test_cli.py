@@ -18,8 +18,8 @@ class TestParser:
         parser = build_parser()
         text = parser.format_help()
         for command in ("fig7", "fig8", "fig9", "overheads", "ablations",
-                        "portability", "run", "sweep", "merge", "migrate",
-                        "history", "diff"):
+                        "portability", "run", "sweep", "serve", "worker",
+                        "submit", "merge", "migrate", "history", "diff"):
             assert command in text
 
 

@@ -1,0 +1,213 @@
+"""Tests for the lease board (``repro.exp.leasing``).
+
+The board is the whole fault-tolerance protocol of the sweep service
+— expiry/re-issue, backoff, bounded attempts — kept free of HTTP and
+wall clocks, so every timing property here runs against an injected
+clock in microseconds of real time.
+"""
+
+import pytest
+
+from repro.exp.leasing import BoardCounts, LeaseBoard
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _board(**kwargs):
+    clock = FakeClock()
+    events = []
+    board = LeaseBoard(clock=clock, on_event=events.append, **kwargs)
+    return board, clock, events
+
+
+def _add_cells(board, *keys):
+    for key in keys:
+        assert board.add(key, {"app": "synthetic", "seed": key})
+
+
+class TestIntake:
+    def test_add_is_idempotent(self):
+        board, _clock, _events = _board()
+        assert board.add("aaaa", {}) is True
+        assert board.add("aaaa", {}) is False
+        assert board.counts() == BoardCounts(queued=1)
+
+    def test_add_requeues_a_failed_cell_with_fresh_budget(self):
+        board, clock, _events = _board(max_attempts=1, lease_timeout=5.0)
+        _add_cells(board, "aaaa")
+        board.lease("w1")
+        clock.advance(6.0)  # expire -> budget gone -> failed
+        assert board.status_of("aaaa") == "failed"
+        assert board.add("aaaa", {}) is True  # a new job asked for it
+        assert board.status_of("aaaa") == "queued"
+        assert board.lease("w2") is not None  # leasable immediately
+
+    def test_done_cells_stay_done(self):
+        board, _clock, _events = _board()
+        _add_cells(board, "aaaa")
+        board.lease("w1")
+        board.mark_done("aaaa")
+        assert board.add("aaaa", {}) is False
+        assert board.status_of("aaaa") == "done"
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LeaseBoard(lease_timeout=0)
+        with pytest.raises(ValueError):
+            LeaseBoard(max_attempts=0)
+        with pytest.raises(ValueError):
+            LeaseBoard(backoff=-1.0)
+
+
+class TestLeasing:
+    def test_grants_in_sorted_key_order(self):
+        board, _clock, _events = _board()
+        _add_cells(board, "cccc", "aaaa", "bbbb")
+        assert [board.lease("w").key for _ in range(3)] \
+            == ["aaaa", "bbbb", "cccc"]
+        assert board.lease("w") is None  # everything leased
+
+    def test_lease_carries_config_and_timeout(self):
+        board, _clock, _events = _board(lease_timeout=7.0)
+        _add_cells(board, "aaaa")
+        lease = board.lease("w1")
+        assert lease.worker == "w1"
+        assert lease.timeout == 7.0
+        assert lease.config == {"app": "synthetic", "seed": "aaaa"}
+
+    def test_heartbeat_extends_the_deadline(self):
+        board, clock, _events = _board(lease_timeout=10.0)
+        _add_cells(board, "aaaa")
+        lease = board.lease("w1")
+        clock.advance(8.0)
+        assert board.heartbeat(lease.lease_id) is True
+        clock.advance(8.0)  # 16s total: dead without the renewal
+        assert board.counts().leased == 1
+        assert board.heartbeat(lease.lease_id) is True
+
+    def test_heartbeat_on_expired_lease_is_stale(self):
+        board, clock, _events = _board(lease_timeout=5.0)
+        _add_cells(board, "aaaa")
+        lease = board.lease("w1")
+        clock.advance(6.0)
+        assert board.heartbeat(lease.lease_id) is False
+
+
+class TestExpiryAndRetry:
+    def test_expired_lease_requeues_and_reissues(self):
+        board, clock, events = _board(lease_timeout=5.0, backoff=0.0)
+        _add_cells(board, "aaaa")
+        first = board.lease("w1")
+        clock.advance(6.0)
+        assert board.counts() == BoardCounts(queued=1)
+        assert any("expired" in event for event in events)
+        second = board.lease("w2")
+        assert second.key == "aaaa"
+        assert second.lease_id != first.lease_id
+        assert second.worker == "w2"
+
+    def test_backoff_schedule_doubles_per_attempt(self):
+        board, clock, _events = _board(
+            lease_timeout=5.0, backoff=1.0, max_attempts=4,
+        )
+        _add_cells(board, "aaaa")
+        for expected_backoff in (1.0, 2.0, 4.0):
+            assert board.lease("w") is not None
+            clock.advance(5.1)  # expire the lease
+            # Inside the backoff window: not leasable yet.
+            assert board.lease("w") is None
+            assert board.status_of("aaaa") == "queued"
+            clock.advance(expected_backoff)
+        assert board.lease("w") is not None  # 4th and final attempt
+
+    def test_attempt_budget_exhaustion_fails_the_cell(self):
+        board, clock, _events = _board(
+            lease_timeout=5.0, backoff=0.0, max_attempts=2,
+        )
+        _add_cells(board, "aaaa")
+        for _ in range(2):
+            assert board.lease("w") is not None
+            clock.advance(6.0)
+        assert board.lease("w") is None
+        assert board.status_of("aaaa") == "failed"
+        assert "gave up after 2 attempt(s)" in board.errors()["aaaa"]
+
+    def test_worker_reported_failure_requeues_with_backoff(self):
+        board, clock, _events = _board(backoff=2.0, max_attempts=3)
+        _add_cells(board, "aaaa")
+        lease = board.lease("w1")
+        assert board.fail(lease.lease_id, "boom") is True
+        assert board.status_of("aaaa") == "queued"
+        assert board.lease("w2") is None  # inside the 2s backoff
+        clock.advance(2.0)
+        assert board.lease("w2") is not None
+
+    def test_fail_on_stale_lease_is_ignored(self):
+        board, clock, _events = _board(lease_timeout=5.0, backoff=0.0)
+        _add_cells(board, "aaaa")
+        lease = board.lease("w1")
+        clock.advance(6.0)
+        replacement = board.lease("w2")  # re-issued to another worker
+        assert board.fail(lease.lease_id, "late crash report") is False
+        # The replacement lease is untouched by the stale report.
+        assert board.heartbeat(replacement.lease_id) is True
+
+    def test_error_messages_name_the_worker_and_reason(self):
+        board, _clock, events = _board(max_attempts=1)
+        _add_cells(board, "aaaa")
+        lease = board.lease("w1")
+        board.fail(lease.lease_id, "segfault")
+        error = board.errors()["aaaa"]
+        assert "segfault" in error
+        assert "w1" in error
+        assert any("requeued" in e or "failed" in e for e in events)
+
+
+class TestCompletion:
+    def test_task_for_resolves_historic_leases(self):
+        board, clock, _events = _board(lease_timeout=5.0, backoff=0.0)
+        _add_cells(board, "aaaa")
+        expired = board.lease("w1")
+        clock.advance(6.0)
+        live = board.lease("w2")
+        # Both the expired and the live lease resolve to the one task:
+        # a late completion from a presumed-dead worker is ingestible.
+        assert board.task_for(expired.lease_id).key == "aaaa"
+        assert board.task_for(live.lease_id).key == "aaaa"
+        assert board.task_for("L999-deadbeef") is None
+
+    def test_mark_done_releases_the_lease(self):
+        board, _clock, _events = _board()
+        _add_cells(board, "aaaa", "bbbb")
+        lease = board.lease("w1")
+        board.mark_done(lease.key)
+        assert board.counts() == BoardCounts(queued=1, done=1)
+        assert board.heartbeat(lease.lease_id) is False
+
+    def test_mark_failed_is_terminal(self):
+        board, _clock, _events = _board()
+        _add_cells(board, "aaaa")
+        board.lease("w1")
+        board.mark_failed("aaaa", "result conflict")
+        assert board.status_of("aaaa") == "failed"
+        assert board.lease("w2") is None
+        assert board.errors() == {"aaaa": "result conflict"}
+
+    def test_counts_pending_property(self):
+        board, _clock, _events = _board()
+        _add_cells(board, "aaaa", "bbbb", "cccc")
+        board.lease("w1")
+        counts = board.counts()
+        assert counts.pending == 3
+        assert (counts.queued, counts.leased) == (2, 1)

@@ -25,7 +25,8 @@ Three guarantees over ``README.md`` and every ``docs/*.md``:
    job.
 4. **The CLI flag lists are current.**  Every option the parser
    defines on the :data:`DOCUMENTED_COMMANDS` subcommands (``sweep``,
-   ``merge``, ``migrate``, ``history``, ``diff``) must be mentioned
+   ``serve``, ``worker``, ``submit``, ``merge``, ``migrate``,
+   ``history``, ``diff``) must be mentioned
    in README.md, and every inline-code flag the README mentions must
    exist on some ``repro`` subcommand — renaming or removing a flag
    without updating the docs fails the job (both directions).
@@ -237,7 +238,10 @@ def check_store_kinds(path: Path) -> list[str]:
 #: Subcommands whose full flag set must be documented in README.md
 #: (the coverage direction; the stale-mention direction covers every
 #: subcommand automatically).
-DOCUMENTED_COMMANDS = ("sweep", "merge", "migrate", "history", "diff")
+DOCUMENTED_COMMANDS = (
+    "sweep", "serve", "worker", "submit", "merge", "migrate", "history",
+    "diff",
+)
 
 
 @functools.lru_cache(maxsize=1)
