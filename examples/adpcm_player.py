@@ -11,7 +11,7 @@ Run:  python examples/adpcm_player.py
 """
 
 from repro import System, adpcm_workload, run_software, run_vim
-from repro.analysis.charts import stacked_bar_chart
+from repro.exp import stacked_bar_chart
 from repro.apps import adpcm
 
 SIZES_KB = (2, 4, 8, 16)

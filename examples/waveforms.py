@@ -12,7 +12,7 @@ Run:  python examples/waveforms.py [output.vcd]
 import sys
 
 from repro import System, run_vim, vector_add_workload
-from repro.analysis.experiments import figure7
+from repro.exp import figure7
 from repro.imu.imu import Imu
 from repro.trace.timeline import WaveformProbe
 from repro.trace.vcd import write_vcd

@@ -1,6 +1,22 @@
-"""Analysis layer (compat shims): drivers, tables and charts all
-live in :mod:`repro.exp` now; these historical import paths keep
-working."""
+"""Analysis layer (deprecated compat shims).
+
+.. deprecated:: importing from ``repro.analysis`` warns.
+
+Drivers, tables and charts all live in :mod:`repro.exp` now — the
+supported public surface (see ``docs/architecture.md``).  These
+historical import paths still re-export every name they ever did,
+but importing them raises a :class:`DeprecationWarning`; migrate to
+``from repro.exp import ...``.
+"""
+
+import warnings
+
+warnings.warn(
+    "repro.analysis is deprecated; import from repro.exp instead "
+    "(the same names are re-exported there)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 from repro.analysis.charts import bar_chart, delta_bar_chart, stacked_bar_chart
 from repro.analysis.experiments import (

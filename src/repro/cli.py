@@ -14,12 +14,21 @@ Usage::
     python -m repro sweep --app adpcm --kb 4 8 --policy fifo lru \\
         --shard 1/2 --cache shard1       # this machine's half of it
     python -m repro merge merged shard1 shard2   # recombine shards
-    python -m repro sweep --report --cache merged \\
+    python -m repro report --cache merged \\
         --group-by policy --format md    # tables from cache, no sim
-    python -m repro sweep --report --cache merged \\
+    python -m repro report --cache merged \\
         --baseline main-cache            # every cell annotated vs main
     python -m repro diff main-cache merged   # regression table; exit 1
                                              # on regressions
+    python -m repro record trace.gz --app synthetic --kb 4 \\
+                                             # run one cell, write its
+                                             # address trace
+    python -m repro sweep --app trace --trace trace.gz \\
+        --policy fifo lru                # replay the trace as a grid
+    python -m repro sweep --app adpcm --tenants 2 \\
+        --tenant-mix adpcm:2+idea --sched priority \\
+                                             # weighted tenants under a
+                                             # strict-priority scheduler
     python -m repro sweep --app adpcm --kb 4 8 \\
         --cache results.sqlite           # same grid, SQLite store
     python -m repro migrate merged results.sqlite   # JSON -> SQLite
@@ -72,6 +81,7 @@ from repro.exp.report import (
     stacked_bar_chart,
     stream_report,
 )
+from repro.exp.record import record_cell
 from repro.exp.service import serve_forever, submit_sweep
 from repro.exp.store import STORES, is_sqlite_file, open_store, store_kind_of
 from repro.exp.worker import run_worker
@@ -83,6 +93,7 @@ from repro.exp.spec import (
     SweepSpec,
     shard_cells,
 )
+from repro.os.scheduler import SCHEDS
 from repro.sim.engine import ENGINES
 
 #: Ablation registry: name -> (driver, row headers, row formatter).
@@ -302,6 +313,8 @@ def spec_from_args(args: argparse.Namespace):
         tenants=tuple(args.tenants),
         tenant_mixes=tuple(args.tenant_mix),
         tenant_repeats=tuple(args.tenant_repeats),
+        scheds=tuple(args.sched),
+        trace_paths=tuple(args.trace) if args.trace else (None,),
         syn_strides=tuple(args.syn_stride),
         syn_locality_pcts=tuple(args.syn_locality),
         syn_read_pcts=tuple(args.syn_read),
@@ -312,22 +325,33 @@ def spec_from_args(args: argparse.Namespace):
     )
 
 
+def _load_baseline_rows(baseline: str):
+    """Baseline rows for ``--baseline``, warning when all-stale."""
+    # allow_empty: an all-stale baseline (CACHE_VERSION bump) has
+    # nothing to compare against — annotate everything (new), do
+    # not fail the report it decorates.
+    rows = load_cache_rows(baseline, allow_empty=True).rows
+    if not rows:
+        print(
+            f"warning: baseline {baseline} holds no loadable "
+            "entries (different CACHE_VERSION?); every cell will "
+            "render as (new)",
+            file=sys.stderr,
+        )
+    return rows
+
+
 def _print_report(args: argparse.Namespace) -> None:
-    """``sweep --report``: render tables from a cache, simulate nothing."""
+    """``repro report``: render tables from a cache, simulate nothing.
+
+    Also the body of the deprecated ``repro sweep --report`` alias —
+    both spell the same namespace fields, so the output (CI
+    byte-compares it) is identical whichever way it was invoked.
+    """
     if args.cache is None:
         raise ReproError(
-            "--report renders from a result cache: pass --cache DIR "
+            "report renders from a result cache: pass --cache DIR "
             "(the directory a previous sweep or merge wrote)"
-        )
-    stray = _explicit_flags(args, _REPORT_FLAGS)
-    if stray:
-        # Silently reporting the *whole* cache while the user asked for
-        # a sub-grid would put wrong rows under a plausible heading.
-        raise ReproError(
-            f"--report renders every cell in the cache; grid/run flag(s) "
-            f"{', '.join(stray)} would have no effect — drop "
-            "them, or run the sweep without --report (use --group-by to "
-            "organise the report)"
         )
     root = Path(args.cache)
     if not root.exists() or store_kind_of(root) is None:
@@ -362,17 +386,7 @@ def _print_report(args: argparse.Namespace) -> None:
     store.close()
     baseline = None
     if args.baseline is not None:
-        # allow_empty: an all-stale baseline (CACHE_VERSION bump) has
-        # nothing to compare against — annotate everything (new), do
-        # not fail the report it decorates.
-        baseline = load_cache_rows(args.baseline, allow_empty=True).rows
-        if not baseline:
-            print(
-                f"warning: baseline {args.baseline} holds no loadable "
-                "entries (different CACHE_VERSION?); every cell will "
-                "render as (new)",
-                file=sys.stderr,
-            )
+        baseline = _load_baseline_rows(args.baseline)
     print(render_report(
         rows,
         group_by=tuple(args.group_by or ()),
@@ -425,6 +439,27 @@ def _print_sweep_rows(cell_rows, executed: int, cached: int) -> None:
 
 def _print_sweep(args: argparse.Namespace) -> None:
     if args.report:
+        # Deprecated alias for `repro report` — same rendering code,
+        # same namespace fields, plus a stray-flag guard (the dedicated
+        # subcommand has no grid flags to stray).  Warning to stderr:
+        # stdout stays the pure report for CI byte-compares.
+        print(
+            "warning: `repro sweep --report` is deprecated; use "
+            "`repro report` (same flags: --cache/--group-by/--format/"
+            "--baseline)",
+            file=sys.stderr,
+        )
+        stray = _explicit_flags(args, _REPORT_FLAGS)
+        if stray:
+            # Silently reporting the *whole* cache while the user asked
+            # for a sub-grid would put wrong rows under a plausible
+            # heading.
+            raise ReproError(
+                f"--report renders every cell in the cache; grid/run "
+                f"flag(s) {', '.join(stray)} would have no effect — drop "
+                "them, or run the sweep without --report (use --group-by "
+                "to organise the report)"
+            )
         _print_report(args)
         return
     argv = getattr(args, "argv", ())
@@ -615,10 +650,49 @@ def _print_run(args: argparse.Namespace) -> None:
         print(f"{workload.name}: typical  unavailable ({error})")
 
 
+def _print_record(args: argparse.Namespace) -> None:
+    """``repro record OUT``: run one grid cell and write its trace.
+
+    Takes the same axis flags as ``sweep``/``submit`` so a cell is
+    spelled identically everywhere — but must resolve to exactly *one*
+    unique cell (a trace is one run's access stream, not a grid's).
+    """
+    spec = spec_from_args(args)
+    cells = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
+    unique: dict[str, CellConfig] = {}
+    for cell in cells:
+        unique.setdefault(cell.key(), cell)
+    if len(unique) != 1:
+        raise ReproError(
+            f"record captures one cell's access stream; these flags "
+            f"describe {len(unique)} unique cells — pass a single value "
+            "per axis (or drop --preset)"
+        )
+    (cell,) = unique.values()
+    if cell.app == "trace":
+        raise ReproError(
+            "cannot record a trace replay (it would re-encode the same "
+            "stream); record the original app instead"
+        )
+    outcome = record_cell(cell, args.out, force=args.force)
+    trace = outcome.trace
+    print(
+        f"recorded {cell.label()}: {len(trace.ops)} accesses, "
+        f"{len(trace.objects)} object(s), {trace.tenant_count} tenant(s)"
+    )
+    print(f"digest {trace.digest}")
+    print(f"wrote {outcome.path}")
+    print(f"replay: repro sweep --app trace --trace {outcome.path}")
+
+
 #: Submit flags that stay meaningful alongside ``--preset`` — the
-#: service analogue of :data:`_PRESET_FLAGS` (submit has no run/report
-#: flags; the coordinator owns caching and scheduling).
-_SUBMIT_PRESET_FLAGS = frozenset({"preset", "engine", "poll", "timeout"})
+#: service analogue of :data:`_PRESET_FLAGS` (submit's report flags
+#: shape the output table, never the grid; the coordinator owns
+#: caching and scheduling).
+_SUBMIT_PRESET_FLAGS = frozenset(
+    {"preset", "engine", "poll", "timeout",
+     "report", "group_by", "format", "baseline"}
+)
 
 
 def _print_serve(args: argparse.Namespace) -> int:
@@ -649,7 +723,26 @@ def _print_submit(args: argparse.Namespace) -> None:
     The stdout contract is ``repro sweep``'s, byte for byte: the same
     table, the same ``N cells: X simulated, Y from cache`` summary.
     Progress goes to stderr so redirected output stays a pure report.
+    With ``--report`` the grid still runs (the coordinator dedups
+    already-cached cells), but the result renders as the report table
+    — the ROADMAP's "tables without a second command" follow-on.
     """
+    if not args.report and (
+        args.group_by is not None
+        or args.format != "md"
+        or args.baseline is not None
+        or any(
+            _option_in_argv(getattr(args, "argv", ()), option)
+            for option in ("--group-by", "--format", "--baseline")
+        )
+    ):
+        # Mirror of the sweep-side guard: these flags only shape the
+        # --report table and would silently do nothing on a plain
+        # submit.
+        raise ReproError(
+            "--group-by/--format/--baseline shape the --report output; "
+            "add --report to render the submitted grid as a report table"
+        )
     if args.preset:
         ignored = _explicit_flags(args, _SUBMIT_PRESET_FLAGS, command="submit")
         if ignored:
@@ -670,6 +763,21 @@ def _print_submit(args: argparse.Namespace) -> None:
         progress=lambda line: print(line, file=sys.stderr, flush=True),
         timeout=args.timeout,
     )
+    if args.report:
+        # Same canonical order and rendering as `repro report`, so a
+        # submitted grid's table matches the cache-rendered one byte
+        # for byte.
+        rows = sorted(outcome.rows, key=lambda r: (r.label, r.key))
+        baseline = None
+        if args.baseline is not None:
+            baseline = _load_baseline_rows(args.baseline)
+        print(render_report(
+            rows,
+            group_by=tuple(args.group_by or ()),
+            fmt=args.format,
+            baseline=baseline,
+        ))
+        return
     _print_sweep_rows(outcome.rows, outcome.executed, outcome.cached)
 
 
@@ -711,6 +819,14 @@ def _add_grid_flags(parser: argparse.ArgumentParser) -> None:
                              "apps, e.g. adpcm+idea")
     parser.add_argument("--tenant-repeats", type=int, nargs="+", default=[1],
                         help="FPGA_EXECUTE calls per tenant axis")
+    parser.add_argument("--sched", nargs="+", default=["rr"], choices=SCHEDS,
+                        help="tenant scheduling-policy axis (per-tenant "
+                             "priorities via --tenant-mix app:N slots; "
+                             "solo cells always canonicalise to rr)")
+    parser.add_argument("--trace", nargs="+", default=None, metavar="PATH",
+                        help="trace-file axis for --app trace cells "
+                             "(files written by `repro record`; cell "
+                             "identity is the trace digest, not the path)")
     parser.add_argument("--syn-stride", type=int, nargs="+", default=[1],
                         help="synthetic hot-window stride axis (words; "
                              "synthetic app cells only)")
@@ -776,6 +892,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--kb", type=int, default=8)
     run.set_defaults(func=_print_run)
 
+    record = sub.add_parser(
+        "record",
+        help="run one grid cell and write its address trace",
+        # Same rationale as sweep: cells are spelled with the shared
+        # grid flags, and guards work on spelled-out tokens.
+        allow_abbrev=False,
+    )
+    record.add_argument("out", metavar="OUT",
+                        help="trace file to write (gzip stream; the "
+                             "content digest lands in the header)")
+    _add_grid_flags(record)
+    record.add_argument("--force", action="store_true",
+                        help="overwrite an existing OUT file")
+    record.set_defaults(func=_print_record)
+
     sweep = sub.add_parser(
         "sweep", help="run a design-space grid (parallel, cached)",
         # No prefix abbreviations: the --report stray-flag guard works
@@ -815,6 +946,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="annotate every numeric --report cell with its "
                             "delta vs this second cache (PR-vs-main reports)")
     sweep.set_defaults(func=_print_sweep)
+
+    report = sub.add_parser(
+        "report",
+        help="render tables from a result store (no simulation)",
+        allow_abbrev=False,
+    )
+    report.add_argument("--cache", default=None, metavar="PATH",
+                        help="result store to render: a cache directory "
+                             "or a .sqlite file a previous sweep or "
+                             "merge wrote")
+    report.add_argument("--group-by", nargs="+", default=None,
+                        metavar="AXIS", choices=group_axes(),
+                        help="config axes to group the tables by "
+                             f"(choices: {', '.join(group_axes())})")
+    report.add_argument("--format", default="md", choices=FORMATS,
+                        help="output format (default: md)")
+    report.add_argument("--baseline", default=None, metavar="DIR",
+                        help="annotate every numeric cell with its delta "
+                             "vs this second cache (PR-vs-main reports)")
+    report.set_defaults(func=_print_report)
 
     serve = sub.add_parser(
         "serve",
@@ -880,6 +1031,20 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS",
                         help="give up if the job is not done after this "
                              "long (default: wait forever)")
+    submit.add_argument("--report", action="store_true",
+                        help="render the submitted grid's results as a "
+                             "report table instead of the sweep table "
+                             "(see --group-by / --format / --baseline)")
+    submit.add_argument("--group-by", nargs="+", default=None,
+                        metavar="AXIS", choices=group_axes(),
+                        help="config axes to group the --report tables by "
+                             f"(choices: {', '.join(group_axes())})")
+    submit.add_argument("--format", default="md", choices=FORMATS,
+                        help="--report output format (default: md)")
+    submit.add_argument("--baseline", default=None, metavar="DIR",
+                        help="annotate every numeric --report cell with "
+                             "its delta vs this cache (PR-vs-main "
+                             "reports)")
     submit.set_defaults(func=_print_submit)
 
     merge = sub.add_parser(

@@ -149,12 +149,15 @@ def run_vim(
     tlb_capacity: int | None = None,
     eager_mapping: bool = True,
     sync_cycles: int | None = None,
+    recorder=None,
 ) -> RunResult:
     """The VIM-based version: the paper's full virtualised path.
 
     ``sync_cycles`` defaults to zero for single-domain designs and to
     :attr:`Imu.CDC_SYNC_CYCLES` when the core and IMU clocks differ
-    (the IDEA system's stall-based synchronisation).
+    (the IDEA system's stall-based synchronisation).  Passing
+    *recorder* (a :class:`~repro.trace.record.TraceRecorder`) captures
+    the run's per-access address stream through the session's IMU.
 
     Implemented as a one-shot :class:`~repro.core.session.
     CoprocessorSession`; applications that call the coprocessor
@@ -174,6 +177,7 @@ def run_vim(
         eager_mapping=eager_mapping,
         sync_cycles=sync_cycles,
         process_name=workload.name,
+        recorder=recorder,
     )
     try:
         for spec in workload.objects:

@@ -64,6 +64,8 @@ class CoprocessorSession:
         sync_cycles: int | None = None,
         process_name: str = "session",
         shared=None,
+        priority: int = 1,
+        recorder=None,
     ) -> None:
         self.system = system
         self.bitstream = bitstream
@@ -73,9 +75,17 @@ class CoprocessorSession:
         if shared is not None:
             self.imu = shared.imu
             self.vim = shared.vim
+            if recorder is not None:
+                # The shared IMU already carries the run-wide sink (the
+                # SharedInterface installs it); a per-tenant recorder
+                # would shadow the other tenants' accesses.
+                raise VimError(
+                    "pass the recorder to the SharedInterface, not to a "
+                    "tenant session: the shared IMU records all tenants"
+                )
             self.core = bitstream.build_core()
             self.core.bind(self.imu)
-            self.process = kernel.spawn(process_name)
+            self.process = kernel.spawn(process_name, priority=priority)
             self.services = FpgaServices(kernel, system.fabric, self.vim)
             self._setup_measurement = Measurement(name=f"{process_name}/setup")
             # No FPGA_LOAD here: the fabric is contended, so it is
@@ -98,6 +108,10 @@ class CoprocessorSession:
             tlb_capacity=tlb_capacity,
             sync_cycles=sync_cycles,
         )
+        # The per-access trace sink (repro record): a solo session owns
+        # its IMU, so the hook attaches here; shared-interface tenants
+        # inherit the SharedInterface's sink instead.
+        self.imu.trace_sink = recorder
         self.core = bitstream.build_core()
         self.core.bind(self.imu)
         self.vim = Vim(
@@ -111,7 +125,7 @@ class CoprocessorSession:
             eager_mapping=eager_mapping,
             dma=system.dma,
         )
-        self.process = kernel.spawn(process_name)
+        self.process = kernel.spawn(process_name, priority=priority)
         kernel.scheduler.pick_next()
         self.services = FpgaServices(kernel, system.fabric, self.vim)
         self._setup_measurement = Measurement(name=f"{process_name}/setup")

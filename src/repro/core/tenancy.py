@@ -36,6 +36,7 @@ from repro.core.system import System
 from repro.errors import ReproError
 from repro.hw.dma import INT_DMA_LINE
 from repro.imu.imu import INT_PLD_LINE, Imu
+from repro.os.scheduler import scheduling_policy
 from repro.os.vim.manager import TransferMode, Vim
 from repro.os.vim.objects import Direction
 from repro.os.vim.prefetch import Prefetcher
@@ -63,6 +64,7 @@ class SharedInterface:
         prefetcher: Prefetcher | None = None,
         tlb_capacity: int | None = None,
         eager_mapping: bool = True,
+        recorder=None,
     ) -> None:
         self.system = system
         self.imu = Imu(
@@ -72,6 +74,10 @@ class SharedInterface:
             pipelined=pipelined_imu,
             tlb_capacity=tlb_capacity,
         )
+        # One trace sink for the whole interface: the shared IMU sees
+        # every tenant's accesses ASID-tagged, so a single recorder
+        # captures the interleaved multi-tenant address stream.
+        self.imu.trace_sink = recorder
         self.vim = Vim(
             system.kernel,
             system.dpram,
@@ -147,6 +153,8 @@ def run_tenants(
     tlb_capacity: int | None = None,
     eager_mapping: bool = True,
     verify: bool = True,
+    sched: str = "rr",
+    recorder=None,
 ) -> MultiTenantResult:
     """Run *workloads* as contending tenant processes on *system*.
 
@@ -163,6 +171,15 @@ def run_tenants(
         Check every execution's outputs bit-exactly against the
         workload's software reference (which is also what its solo run
         produces), so cross-tenant corruption can never go unnoticed.
+    sched:
+        Scheduling-policy axis value (one of
+        :data:`repro.os.scheduler.SCHEDS`): how the run queue picks the
+        next tenant.  Each workload's ``priority`` is the weight the
+        ``priority`` and ``wrr`` policies dispatch by.
+    recorder:
+        Optional :class:`~repro.trace.record.TraceRecorder` installed
+        on the shared IMU, capturing the interleaved per-access address
+        stream of all tenants.
 
     Returns
     -------
@@ -186,6 +203,9 @@ def run_tenants(
                 "reference cannot model; use repeats=1 for INOUT workloads"
             )
     kernel = system.kernel
+    # The dispatch policy is installed before any tenant is spawned, so
+    # the very first pick already follows it.
+    kernel.scheduler.policy = scheduling_policy(sched)
     shared = SharedInterface(
         system,
         policy=policy,
@@ -195,6 +215,7 @@ def run_tenants(
         prefetcher=prefetcher,
         tlb_capacity=tlb_capacity,
         eager_mapping=eager_mapping,
+        recorder=recorder,
     )
     sessions: list[CoprocessorSession] = []
     try:
@@ -206,6 +227,7 @@ def run_tenants(
                 workload.spec.bitstream,
                 shared=shared,
                 process_name=workload.tenant_name(index),
+                priority=workload.priority,
             )
             sessions.append(session)
             for spec in workload.spec.objects:

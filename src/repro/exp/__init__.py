@@ -23,7 +23,10 @@ simulation.  This package makes that structure first-class:
 * :mod:`~repro.exp.merge` — recombine shard stores / row dumps into
   one store as key-sorted streams, with conflict detection;
 * :mod:`~repro.exp.report` — render the paper's tables straight from
-  a result store, no re-simulation (``repro sweep --report``);
+  a result store, no re-simulation (``repro report``);
+* :mod:`~repro.exp.record` — run one cell under a trace recorder and
+  write its address-trace file (``repro record``), replayable as the
+  ``trace`` app;
 * :mod:`~repro.exp.diff` — compare two stores into a typed regression
   table with tolerance-gated exit semantics (``repro diff``), per
   cell or aggregated per axis group (``--group-by``);
@@ -85,11 +88,15 @@ from repro.exp.merge import (
     merge_into,
     migrate_store,
 )
+from repro.exp.record import RecordOutcome, record_cell
 from repro.exp.report import (
     FORMATS,
     bar_chart,
+    csv_table,
     delta_bar_chart,
+    format_table,
     load_cache_rows,
+    markdown_table,
     render_report,
     render_table,
     report_from_cache,
@@ -131,6 +138,7 @@ __all__ = [
     "MergeSummary",
     "MetricDelta",
     "PortabilityRow",
+    "RecordOutcome",
     "ResultStore",
     "RunRecord",
     "STORES",
@@ -150,6 +158,7 @@ __all__ = [
     "build_tenant_workloads",
     "config_hash",
     "contention",
+    "csv_table",
     "delta_bar_chart",
     "diff_caches",
     "diff_rows",
@@ -157,15 +166,18 @@ __all__ = [
     "figure7",
     "figure8",
     "figure9",
+    "format_table",
     "grid_fingerprint",
     "imu_overhead_rows",
     "load_cache_rows",
+    "markdown_table",
     "load_history",
     "load_side",
     "merge_into",
     "migrate_store",
     "open_store",
     "portability",
+    "record_cell",
     "render_diff",
     "render_history",
     "render_report",

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable
 
+from repro.apps.tracefile import trace_workload
 from repro.core.drivers import (
     adpcm_encode_workload,
     adpcm_workload,
@@ -25,7 +26,7 @@ from repro.core.system import System
 from repro.core.tenancy import run_tenants
 from repro.errors import CapacityError, ReproError
 from repro.exp.results import REPLICATED_COLUMNS, CellResult, replicate_summary
-from repro.exp.spec import CellConfig
+from repro.exp.spec import CellConfig, parse_mix_part
 from repro.os.vim.manager import TransferMode
 from repro.os.vim.prefetch import Prefetcher, SequentialPrefetcher
 from repro.os.workload import Workload
@@ -45,6 +46,13 @@ def _synthetic_builder(
     )
 
 
+def _trace_builder(config: CellConfig, nbytes: int, seed: int) -> WorkloadSpec:
+    # Size and seed are the *recorded* run's (the config canonicalised
+    # its own away); the expected digest pins the file's content to the
+    # identity the cell was hashed under.
+    return trace_workload(config.trace_path, expected_digest=config.trace_digest)
+
+
 #: app axis value -> workload builder taking (config, input_bytes, seed).
 #: The config carries app-specific pattern axes (only ``synthetic``
 #: reads it today); size and seed stay explicit because tenant slots
@@ -62,6 +70,7 @@ _APP_BUILDERS: dict[str, Callable[[CellConfig, int, int], WorkloadSpec]] = {
         nbytes // 2, seed=seed
     ),
     "synthetic": _synthetic_builder,
+    "trace": _trace_builder,
 }
 
 #: Seed stride between replicates: a prime far larger than any
@@ -104,24 +113,30 @@ def build_soc(config: CellConfig) -> SocConfig:
     return replace(preset, name="@".join(tags), **overrides)
 
 
+def tenant_slots(config: CellConfig) -> list[tuple[str, int]]:
+    """Per-tenant ``(app, priority)`` slots from the cell's mix."""
+    if config.tenant_mix == "same":
+        return [(config.app, 1)] * config.tenants
+    slots = [parse_mix_part(p) for p in config.tenant_mix.split("+")]
+    return [slots[i % len(slots)] for i in range(config.tenants)]
+
+
 def tenant_apps(config: CellConfig) -> list[str]:
     """The app each tenant slot runs, per the cell's ``tenant_mix``."""
-    if config.tenant_mix == "same":
-        return [config.app] * config.tenants
-    parts = config.tenant_mix.split("+")
-    return [parts[i % len(parts)] for i in range(config.tenants)]
+    return [app for app, _ in tenant_slots(config)]
 
 
 def build_tenant_workloads(config: CellConfig) -> list[Workload]:
     """One :class:`~repro.os.workload.Workload` per tenant of *config*.
 
-    Tenant *i* runs the app picked by :func:`tenant_apps` on a dataset
+    Tenant *i* runs the app picked by :func:`tenant_slots` on a dataset
     seeded ``config.seed + i``, so even same-app tenants stream
-    distinct (but deterministic) data, and each issues
-    ``config.tenant_repeats`` FPGA_EXECUTE calls.
+    distinct (but deterministic) data, each issues
+    ``config.tenant_repeats`` FPGA_EXECUTE calls, and each carries its
+    slot's scheduling priority.
     """
     workloads = []
-    for index, app in enumerate(tenant_apps(config)):
+    for index, (app, priority) in enumerate(tenant_slots(config)):
         builder = _APP_BUILDERS.get(app)
         if builder is None:
             raise ReproError(
@@ -133,6 +148,7 @@ def build_tenant_workloads(config: CellConfig) -> list[Workload]:
                 spec=spec,
                 repeats=config.tenant_repeats,
                 name=f"t{index}-{spec.name}",
+                priority=priority,
             )
         )
     return workloads
@@ -322,6 +338,7 @@ def _run_contended(config: CellConfig) -> CellResult:
         access_cycles=config.access_cycles,
         prefetcher=build_prefetcher(config),
         tlb_capacity=config.tlb_capacity,
+        sched=config.sched,
     )
     vim_ms = result.makespan_ms
     totals = {

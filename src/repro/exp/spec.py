@@ -13,18 +13,21 @@ import hashlib
 import itertools
 import json
 from dataclasses import asdict, dataclass, fields
+from functools import lru_cache
 
 from repro.errors import ReproError
+from repro.os.scheduler import SCHEDS
 from repro.sim.engine import ENGINES
 
 #: Bump when CellResult semantics change, so stale caches miss.
-#: (5: the synthetic-workload pattern axes (``syn_*``) and the
-#: ``replicates`` field join the cell config, and every result row
-#: grows cross-replicate mean/CV columns — old rows must miss.)
-CACHE_VERSION = 5
+#: (6: the ``sched`` scheduling-policy axis, per-tenant priorities in
+#: ``tenant_mix``, and the ``trace`` app with its content digest join
+#: the cell config — old rows must miss.)
+CACHE_VERSION = 6
 
 #: Applications the cell runner knows how to build (see exp.cell).
-APPS = ("adpcm", "idea", "idea-dec", "vadd", "adpcm-enc", "synthetic")
+#: ``trace`` replays a recorded address trace (``--trace FILE``).
+APPS = ("adpcm", "idea", "idea-dec", "vadd", "adpcm-enc", "synthetic", "trace")
 
 #: Transfer-mode axis values (maps onto os.vim.transfer.TransferMode):
 #: two CPU copies (measured), one (announced), or DMA descriptors.
@@ -32,6 +35,44 @@ TRANSFERS = ("double", "single", "dma")
 
 #: Prefetch axis values (maps onto os.vim.prefetch builders).
 PREFETCHES = ("none", "sequential", "aggressive", "overlapped")
+
+
+def parse_mix_part(part: str) -> tuple[str, int]:
+    """Split one ``tenant_mix`` slot into its app and priority.
+
+    A slot is ``app`` or ``app:priority`` (e.g. ``adpcm:2``); the
+    priority defaults to 1 (the neutral weight every scheduling policy
+    treats as plain round-robin).
+    """
+    app, sep, prio_text = part.partition(":")
+    if not sep:
+        return app, 1
+    try:
+        priority = int(prio_text)
+    except ValueError:
+        raise ReproError(
+            f"tenant mix slot {part!r}: priority {prio_text!r} is not an "
+            "integer (expected app or app:priority)"
+        ) from None
+    if priority < 1:
+        raise ReproError(
+            f"tenant mix slot {part!r}: priority must be >= 1"
+        )
+    return app, priority
+
+
+@lru_cache(maxsize=None)
+def _trace_digest_cached(path: str) -> str:
+    """Header digest of the trace at *path* (one read per path).
+
+    Cached so expanding a grid of N platform cells over one trace file
+    reads its header once.  Service submissions never hit this: their
+    configs arrive with the digest already resolved (it travels in
+    ``to_dict``), so the coordinator needs no access to the file.
+    """
+    from repro.trace.record import trace_digest_of
+
+    return trace_digest_of(path)
 
 
 @dataclass(frozen=True)
@@ -84,10 +125,15 @@ class CellConfig:
         How apps are assigned to tenants: ``"same"`` gives every tenant
         ``app``; a ``"+"``-joined list of :data:`APPS` values (e.g.
         ``"adpcm+idea"``) assigns tenant *i* the *i*-th entry, cycling.
-        Tenant *i* always gets dataset seed ``seed + i`` so same-app
-        tenants still stream distinct data.  With ``tenants == 1`` a
-        mix is meaningless and is canonicalised to ``"same"`` (after
-        validation), so equivalent solo configs share one cache hash.
+        A slot may carry a scheduling priority as ``app:priority``
+        (e.g. ``"adpcm:2+idea"``): the weight the ``priority`` and
+        ``wrr`` policies dispatch that tenant by.  Tenant *i* always
+        gets dataset seed ``seed + i`` so same-app tenants still stream
+        distinct data.  With ``tenants == 1`` a mix is meaningless and
+        is canonicalised to ``"same"`` (after validation), so
+        equivalent solo configs share one cache hash; default ``:1``
+        priorities are likewise stripped, and under ``sched == "rr"``
+        (which ignores weights) all priorities are.
     tenant_repeats : int
         FPGA_EXECUTE calls per tenant; with >= 2, a tenant re-touches
         pages a neighbour may have stolen between its turns.
@@ -111,6 +157,22 @@ class CellConfig:
         tolerance bands of ``repro diff --bands cv``.  Included in the
         config hash: a replicated cell measures something a single
         run does not.
+    sched : str
+        Scheduling-policy axis (one of
+        :data:`repro.os.scheduler.SCHEDS`): how the contended run
+        queue dispatches tenants.  Meaningless with ``tenants == 1``
+        (one process cannot be scheduled against anyone) and
+        canonicalised to ``"rr"`` there, so equivalent solo configs
+        share one cache hash.
+    trace_path, trace_digest : str or None
+        The ``trace`` app's input: the trace file to replay and its
+        content digest.  The *digest* — resolved from the file's
+        header when not given — is part of the config hash; the *path*
+        is **excluded** from it (and from labels), because a path says
+        nothing about content: the same trace copied elsewhere must
+        hit the same cached cells, and a changed file under the same
+        path must miss.  Both are canonicalised to ``None`` for every
+        other app.
     engine : str
         Simulation kernel backend, one of
         :data:`repro.sim.engine.ENGINES`.  **Not an axis of the design
@@ -143,6 +205,9 @@ class CellConfig:
     syn_read_pct: int = 70
     syn_phases: int = 1
     replicates: int = 1
+    sched: str = "rr"
+    trace_path: str | None = None
+    trace_digest: str | None = None
     engine: str = "reference"
 
     def __post_init__(self) -> None:
@@ -183,18 +248,43 @@ class CellConfig:
             raise ReproError(
                 f"tenant repeats must be >= 1, got {self.tenant_repeats}"
             )
+        if self.sched not in SCHEDS:
+            raise ReproError(
+                f"unknown scheduling policy {self.sched!r}; choices: {SCHEDS}"
+            )
+        if self.tenants == 1 and self.sched != "rr":
+            # One process cannot be scheduled against anyone; every
+            # policy degenerates to "dispatch it".  Canonicalise so
+            # equivalent solo configs share one cache hash and label.
+            object.__setattr__(self, "sched", "rr")
         if self.tenant_mix != "same":
-            parts = self.tenant_mix.split("+")
-            bad = [p for p in parts if p not in APPS]
-            if not parts or bad:
+            slots = [parse_mix_part(p) for p in self.tenant_mix.split("+")]
+            bad = [app for app, _ in slots if app not in APPS]
+            if not slots or bad:
                 raise ReproError(
                     f"tenant mix {self.tenant_mix!r} must be 'same' or "
-                    f"'+'-joined app names from {APPS} (bad: {bad})"
+                    f"'+'-joined app[:priority] slots with apps from "
+                    f"{APPS} (bad: {bad})"
+                )
+            if any(app == "trace" for app, _ in slots):
+                raise ReproError(
+                    "the trace app cannot be a tenant-mix slot: a replay "
+                    "is a single flattened workload (record the "
+                    "multi-tenant run instead and replay that trace)"
                 )
             if self.tenants == 1:
                 # A mix is meaningless with one tenant; canonicalise so
                 # equivalent configs share one cache hash and label.
                 object.__setattr__(self, "tenant_mix", "same")
+            else:
+                # Canonical slot spelling: the default ":1" priority is
+                # dropped, and under round-robin — which ignores
+                # weights — every priority is.
+                canonical = "+".join(
+                    app if prio == 1 or self.sched == "rr" else f"{app}:{prio}"
+                    for app, prio in slots
+                )
+                object.__setattr__(self, "tenant_mix", canonical)
         if self.syn_stride < 1:
             raise ReproError(
                 f"synthetic stride must be >= 1 words, got {self.syn_stride}"
@@ -213,7 +303,10 @@ class CellConfig:
             raise ReproError(
                 f"synthetic phase count must be >= 1, got {self.syn_phases}"
             )
-        if "synthetic" not in (self.app, *self.tenant_mix.split("+")):
+        mix_apps = [
+            parse_mix_part(p)[0] for p in self.tenant_mix.split("+")
+        ]
+        if "synthetic" not in (self.app, *mix_apps):
             # No tenant runs the synthetic app, so the pattern fields
             # are meaningless; canonicalise (after validation) so
             # equivalent non-synthetic configs share one cache hash —
@@ -232,6 +325,43 @@ class CellConfig:
                 "path (tenants or tenant_repeats > 1): the typical "
                 "coprocessor owns the whole DP-RAM and runs once"
             )
+        if self.app == "trace":
+            if not self.trace_path:
+                raise ReproError(
+                    "the trace app needs a trace file: pass trace_path "
+                    "(CLI: --trace FILE, recorded with `repro record`)"
+                )
+            if self.tenants > 1 or self.tenant_mix != "same":
+                raise ReproError(
+                    "the trace app is a single flattened replay; it is "
+                    "incompatible with tenants > 1 or a tenant mix "
+                    "(record the contended run and replay its trace)"
+                )
+            if self.tenant_repeats > 1:
+                raise ReproError(
+                    "the trace app replays INOUT object images and "
+                    "cannot repeat; use tenant_repeats=1"
+                )
+            if self.with_typical:
+                raise ReproError(
+                    "with_typical is incompatible with the trace app: "
+                    "the replay measures the virtualised path the trace "
+                    "was recorded through"
+                )
+            # The replay's identity is its content digest: the dataset
+            # axes (size, seed) belong to the *recorded* run, so they
+            # are neutralised here and equivalent replays share a hash.
+            object.__setattr__(self, "input_bytes", 1)
+            object.__setattr__(self, "seed", 1)
+            if self.trace_digest is None:
+                object.__setattr__(
+                    self, "trace_digest", _trace_digest_cached(self.trace_path)
+                )
+        else:
+            # Not a replay: the trace fields are meaningless —
+            # canonicalise so they never fork other apps' hashes.
+            object.__setattr__(self, "trace_path", None)
+            object.__setattr__(self, "trace_digest", None)
 
     def to_dict(self) -> dict:
         """JSON-friendly dump (field order fixed by the dataclass)."""
@@ -251,8 +381,15 @@ class CellConfig:
 
     def label(self) -> str:
         """Compact human label: workload plus every non-default axis."""
-        parts = [f"{self.app}-{_size_label(self.input_bytes)}"]
-        default = CellConfig(app=self.app, input_bytes=self.input_bytes)
+        if self.app == "trace":
+            # The digest *is* the workload identity (size and seed are
+            # the recorded run's, not the replay's); the default
+            # template below only supplies the other axes' defaults.
+            parts = [f"trace-{(self.trace_digest or '')[:10]}"]
+            default = CellConfig()
+        else:
+            parts = [f"{self.app}-{_size_label(self.input_bytes)}"]
+            default = CellConfig(app=self.app, input_bytes=self.input_bytes)
         for name, text in (
             ("soc", self.soc),
             ("page_bytes", f"page{self.page_bytes}"),
@@ -266,6 +403,7 @@ class CellConfig:
             ("tenants", f"x{self.tenants}"),
             ("tenant_mix", f"mix-{self.tenant_mix}"),
             ("tenant_repeats", f"rep{self.tenant_repeats}"),
+            ("sched", f"sched-{self.sched}"),
             ("syn_stride", f"stride{self.syn_stride}"),
             ("syn_locality_pct", f"loc{self.syn_locality_pct}"),
             ("syn_read_pct", f"rd{self.syn_read_pct}"),
@@ -293,10 +431,14 @@ def config_hash(config: CellConfig) -> str:
     The ``engine`` field is the one exception: the backend is required
     to be observationally equivalent, so it must not fork the cache
     identity — reference and fast sweeps share cells, and ``repro
-    diff`` aligns their caches row for row.
+    diff`` aligns their caches row for row.  ``trace_path`` is the
+    other: the trace's *content digest* is hashed in its stead, so
+    moving a trace file never forks the cache while changing its
+    contents always does.
     """
     config_dict = config.to_dict()
     config_dict.pop("engine", None)
+    config_dict.pop("trace_path", None)
     payload = {"version": CACHE_VERSION, "config": config_dict}
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
@@ -314,6 +456,7 @@ def replica_hash(config: CellConfig) -> str:
     """
     config_dict = config.to_dict()
     config_dict.pop("engine", None)
+    config_dict.pop("trace_path", None)
     config_dict.pop("seed", None)
     payload = {"version": CACHE_VERSION, "replica": config_dict}
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -389,9 +532,16 @@ class SweepSpec:
     access_cycles : tuple
         Per-axis value tuples; see the same-named :class:`CellConfig`
         fields for the meaning and the accepted values of each.
-    tenants, tenant_mixes, tenant_repeats : tuple
+    tenants, tenant_mixes, tenant_repeats, scheds : tuple
         The multi-process contention axes (tenant count, app mix per
-        tenant, FPGA_EXECUTE calls per tenant).
+        tenant — optionally with ``app:priority`` weights —
+        FPGA_EXECUTE calls per tenant, and the scheduling policy the
+        run queue dispatches by).
+    trace_paths : tuple
+        Trace files for the ``trace`` app (``(None,)`` when no cell
+        replays one); each expands like any other axis value, and the
+        cell's cache identity uses the file's content digest, never
+        the path.
     syn_strides, syn_locality_pcts, syn_read_pcts, syn_phases : tuple
         The ``synthetic`` app's access-pattern axes; only meaningful
         for cells in which some tenant runs the synthetic app (other
@@ -437,6 +587,8 @@ class SweepSpec:
     tenants: tuple[int, ...] = (1,)
     tenant_mixes: tuple[str, ...] = ("same",)
     tenant_repeats: tuple[int, ...] = (1,)
+    scheds: tuple[str, ...] = ("rr",)
+    trace_paths: tuple[str | None, ...] = (None,)
     syn_strides: tuple[int, ...] = (1,)
     syn_locality_pcts: tuple[int, ...] = (80,)
     syn_read_pcts: tuple[int, ...] = (70,)
@@ -458,13 +610,14 @@ class SweepSpec:
         for (
             app, nbytes, seed, soc, page, dpram, policy, transfer,
             prefetch, depth, tlb, pipe, cycles, ntenants, mix, repeats,
-            stride, locality, read_pct, phases,
+            sched, trace_path, stride, locality, read_pct, phases,
         ) in itertools.product(
             self.apps, self.input_bytes, self.seeds, self.socs,
             self.page_bytes, self.dpram_bytes, self.policies,
             self.transfers, self.prefetches, self.prefetch_depths,
             self.tlb_capacities, self.pipelined, self.access_cycles,
             self.tenants, self.tenant_mixes, self.tenant_repeats,
+            self.scheds, self.trace_paths,
             self.syn_strides, self.syn_locality_pcts,
             self.syn_read_pcts, self.syn_phases,
         ):
@@ -487,6 +640,8 @@ class SweepSpec:
                     tenants=ntenants,
                     tenant_mix=mix,
                     tenant_repeats=repeats,
+                    sched=sched,
+                    trace_path=trace_path,
                     syn_stride=stride,
                     syn_locality_pct=locality,
                     syn_read_pct=read_pct,
@@ -506,6 +661,7 @@ class SweepSpec:
             self.transfers, self.prefetches, self.prefetch_depths,
             self.tlb_capacities, self.pipelined, self.access_cycles,
             self.tenants, self.tenant_mixes, self.tenant_repeats,
+            self.scheds, self.trace_paths,
             self.syn_strides, self.syn_locality_pcts,
             self.syn_read_pcts, self.syn_phases,
         )

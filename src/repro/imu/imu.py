@@ -118,6 +118,16 @@ class Imu:
         #: active tenant's entries match.  Zero (the default) makes the
         #: tag the identity — single-tenant behaviour is unchanged.
         self.asid = 0
+        #: Optional address-trace sink (``record(asid, write, obj,
+        #: addr, size)``, e.g. a :class:`repro.trace.record.
+        #: TraceRecorder`).  Called once per *completed* data access —
+        #: after fault service, on the retried access's hit — with the
+        #: untagged CP_OBJ id; parameter-page traffic is not recorded
+        #: (it is protocol, not workload).  The call sits on the firing
+        #: edge, which both engine backends execute for real, so a
+        #: recording changes nothing about timing or backend
+        #: equivalence.
+        self.trace_sink = None
         self.state = ImuState.IDLE
         self._remaining = 0
         self._last_req = 0
@@ -269,6 +279,11 @@ class Imu:
         else:
             ports.cp_din.set(self.dpram.pld_read(paddr, size))
             self.reads += 1
+        if self.trace_sink is not None and ports.cp_obj.value != PARAM_OBJECT:
+            self.trace_sink.record(
+                self.asid, bool(ports.cp_wr.value), ports.cp_obj.value,
+                addr, size,
+            )
         ports.cp_tlbhit.set(1)
         self.translations += 1
         self.state = ImuState.IDLE

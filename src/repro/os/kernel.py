@@ -45,9 +45,9 @@ class Kernel:
 
     # -- processes -------------------------------------------------------
 
-    def spawn(self, name: str) -> Process:
+    def spawn(self, name: str, priority: int = 1) -> Process:
         """Create a process and place it on the run queue."""
-        process = Process(self._next_pid, name)
+        process = Process(self._next_pid, name, priority=priority)
         self._next_pid += 1
         self.scheduler.enqueue(process)
         return process

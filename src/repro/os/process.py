@@ -25,11 +25,17 @@ class ProcessState(Enum):
 class Process:
     """A user process on the mini-OS."""
 
-    def __init__(self, pid: int, name: str) -> None:
+    def __init__(self, pid: int, name: str, priority: int = 1) -> None:
         if pid < 0:
             raise OsError(f"invalid pid {pid}")
+        if priority < 1:
+            # Priority doubles as the weighted-round-robin burst length,
+            # so zero would mean "never dispatched".
+            raise OsError(f"priority must be >= 1, got {priority}")
         self.pid = pid
         self.name = name
+        #: Scheduling weight: strict-priority rank and WRR burst length.
+        self.priority = priority
         self.state = ProcessState.READY
         self.wakeups = 0
         self.sleeps = 0

@@ -42,15 +42,23 @@ class Workload:
         may steal its resident DP-RAM pages.
     name:
         Tenant process name (defaults to ``tenant<i>-<spec name>``).
+    priority:
+        Scheduling weight of the tenant's process: the rank a strict-
+        priority policy dispatches by, and the consecutive-turn burst
+        length under weighted round-robin.  1 (the default) is the
+        neutral weight every policy treats as plain round-robin.
     """
 
     spec: "WorkloadSpec"
     repeats: int = 1
     name: str | None = None
+    priority: int = 1
 
     def __post_init__(self) -> None:
         if self.repeats < 1:
             raise OsError(f"workload repeats must be >= 1, got {self.repeats}")
+        if self.priority < 1:
+            raise OsError(f"workload priority must be >= 1, got {self.priority}")
 
     def tenant_name(self, index: int) -> str:
         """The process name for this workload at tenant slot *index*."""

@@ -1,12 +1,30 @@
-"""Observability: waveform probes, ASCII timing diagrams, VCD export."""
+"""Observability: waveform probes, timing diagrams, address traces."""
 
+from repro.trace.record import (
+    TraceError,
+    TraceFile,
+    TraceObject,
+    TraceOp,
+    TraceRecorder,
+    load_trace,
+    trace_digest_of,
+    write_trace,
+)
 from repro.trace.timeline import SignalTrace, WaveformProbe, render_cycles
 from repro.trace.vcd import dump_vcd, write_vcd
 
 __all__ = [
     "SignalTrace",
+    "TraceError",
+    "TraceFile",
+    "TraceObject",
+    "TraceOp",
+    "TraceRecorder",
     "WaveformProbe",
     "dump_vcd",
+    "load_trace",
     "render_cycles",
+    "trace_digest_of",
+    "write_trace",
     "write_vcd",
 ]

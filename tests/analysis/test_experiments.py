@@ -6,7 +6,7 @@ exercised end-to-end and its headline *shape* asserted.
 
 import pytest
 
-from repro.analysis.experiments import (
+from repro.exp import (
     ablation_pipelined,
     ablation_policies,
     ablation_prefetch,

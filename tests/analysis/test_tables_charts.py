@@ -1,15 +1,22 @@
 """Unit tests for table and chart formatting.
 
-Imports go through the ``analysis`` compat shims on purpose: the
-formatters live in :mod:`repro.exp.report` now, and these tests pin
-the historical import paths alongside the behaviour.
+The formatters live in :mod:`repro.exp.report`; the deprecated
+``repro.analysis`` shims (warning on import, same objects) are pinned
+separately in ``TestCompatShim``.
 """
+
+import sys
 
 import pytest
 
-from repro.analysis.charts import bar_chart, delta_bar_chart, stacked_bar_chart
-from repro.analysis.tables import format_table, markdown_table
 from repro.errors import ReproError
+from repro.exp import (
+    bar_chart,
+    delta_bar_chart,
+    format_table,
+    markdown_table,
+    stacked_bar_chart,
+)
 
 
 class TestFormatTable:
@@ -61,14 +68,39 @@ class TestBarChart:
 
 
 class TestCompatShim:
+    @staticmethod
+    def _forget_analysis_modules():
+        # The DeprecationWarning fires when the package module body
+        # executes — once per interpreter.  Forget any prior import so
+        # each test observes a fresh one.
+        for name in list(sys.modules):
+            if name == "repro.analysis" or name.startswith("repro.analysis."):
+                del sys.modules[name]
+
+    def test_import_raises_deprecation_warning(self):
+        self._forget_analysis_modules()
+        with pytest.warns(DeprecationWarning, match="repro.analysis is deprecated"):
+            import repro.analysis  # noqa: F401
+
     def test_shim_and_exp_report_are_the_same_functions(self):
-        from repro.analysis import charts, tables
+        self._forget_analysis_modules()
+        with pytest.warns(DeprecationWarning):
+            from repro.analysis import charts, tables
         from repro.exp import report
 
         assert charts.bar_chart is report.bar_chart
         assert charts.stacked_bar_chart is report.stacked_bar_chart
         assert charts.delta_bar_chart is report.delta_bar_chart
         assert tables.render_table is report.render_table
+
+    def test_every_historical_name_still_importable(self):
+        self._forget_analysis_modules()
+        with pytest.warns(DeprecationWarning):
+            import repro.analysis as analysis
+        import repro.exp as exp
+
+        for name in analysis.__all__:
+            assert getattr(analysis, name) is getattr(exp, name)
 
 
 class TestDeltaBarChart:

@@ -1,0 +1,130 @@
+"""Unit tests for the pluggable scheduling policies.
+
+The queue mechanics are pinned in ``test_process_scheduler.py``; here
+the three :data:`~repro.os.scheduler.SCHEDS` policies are exercised
+directly on hand-built queues, including the two degeneracy invariants
+the sweep layer relies on (equal-priority strict priority == rr,
+all-weights-one wrr == rr).
+"""
+
+import pytest
+
+from repro.errors import OsError
+from repro.os.process import Process
+from repro.os.scheduler import (
+    SCHEDS,
+    RoundRobinPolicy,
+    Scheduler,
+    StrictPriorityPolicy,
+    WeightedRoundRobinPolicy,
+    scheduling_policy,
+)
+from repro.os.workload import Workload
+
+
+def _dispatch_sequence(policy, processes, picks: int) -> list[int]:
+    """Pids dispatched by repeatedly calling pick_next (no sleeping)."""
+    sched = Scheduler(policy=policy)
+    for process in processes:
+        sched.enqueue(process)
+    return [sched.pick_next().pid for _ in range(picks)]
+
+
+class TestFactory:
+    def test_every_axis_value_builds(self):
+        for name in SCHEDS:
+            assert scheduling_policy(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(OsError):
+            scheduling_policy("lottery")
+
+    def test_default_policy_is_round_robin(self):
+        assert Scheduler().policy.name == "rr"
+
+
+class TestPriorityValidation:
+    def test_process_priority_must_be_positive(self):
+        with pytest.raises(OsError):
+            Process(1, "app", priority=0)
+
+    def test_workload_priority_must_be_positive(self):
+        with pytest.raises(OsError):
+            Workload(spec=None, priority=0)
+
+
+class TestRoundRobin:
+    def test_rotates_through_queue(self):
+        processes = [Process(pid, f"p{pid}") for pid in (1, 2, 3)]
+        sequence = _dispatch_sequence(RoundRobinPolicy(), processes, 6)
+        assert sequence == [1, 2, 3, 1, 2, 3]
+
+
+class TestStrictPriority:
+    def test_highest_priority_monopolises(self):
+        processes = [
+            Process(1, "lo", priority=1),
+            Process(2, "hi", priority=5),
+            Process(3, "lo", priority=1),
+        ]
+        sequence = _dispatch_sequence(StrictPriorityPolicy(), processes, 4)
+        # pid 2 wins every dispatch while READY (it never sleeps here).
+        assert sequence == [2, 2, 2, 2]
+
+    def test_equal_priorities_match_round_robin(self):
+        def build():
+            return [Process(pid, f"p{pid}") for pid in (1, 2, 3)]
+
+        rr = _dispatch_sequence(RoundRobinPolicy(), build(), 9)
+        prio = _dispatch_sequence(StrictPriorityPolicy(), build(), 9)
+        assert prio == rr
+
+    def test_tie_breaks_by_queue_order(self):
+        processes = [
+            Process(1, "a", priority=2),
+            Process(2, "b", priority=2),
+        ]
+        assert _dispatch_sequence(
+            StrictPriorityPolicy(), processes, 2
+        ) == [1, 2]
+
+
+class TestWeightedRoundRobin:
+    def test_burst_lengths_follow_priority(self):
+        processes = [
+            Process(1, "a", priority=2),
+            Process(2, "b", priority=1),
+            Process(3, "c", priority=3),
+        ]
+        sequence = _dispatch_sequence(WeightedRoundRobinPolicy(), processes, 9)
+        assert sequence == [1, 1, 2, 3, 3, 3, 1, 1, 2]
+
+    def test_all_weights_one_match_round_robin(self):
+        def build():
+            return [Process(pid, f"p{pid}") for pid in (1, 2, 3)]
+
+        rr = _dispatch_sequence(RoundRobinPolicy(), build(), 9)
+        wrr = _dispatch_sequence(WeightedRoundRobinPolicy(), build(), 9)
+        assert wrr == rr
+
+    def test_absent_process_forfeits_burst(self):
+        a = Process(1, "a", priority=3)
+        b = Process(2, "b", priority=1)
+        sched = Scheduler(policy=WeightedRoundRobinPolicy())
+        sched.enqueue(a)
+        sched.enqueue(b)
+        assert sched.pick_next() is a
+        sched.sleep_current()  # a blocks mid-burst
+        assert sched.pick_next() is b  # burst forfeited, rotation moves on
+
+    def test_policy_index_bounds_enforced(self):
+        class Broken:
+            name = "broken"
+
+            def select(self, ready):
+                return len(ready)  # off the end
+
+        sched = Scheduler(policy=Broken())
+        sched.enqueue(Process(1, "a"))
+        with pytest.raises(OsError):
+            sched.pick_next()

@@ -55,3 +55,36 @@ class TestGridKey:
     def test_unknown_flag_rejected(self):
         with pytest.raises(SystemExit):
             grid_key.main(["--warp-drive 9"])
+
+
+class TestMultiSegment:
+    """``--``-separated segments key the union of several invocations.
+
+    CI sweeps its extra scheduling/trace cells into the same cache as
+    the axis-product smoke grid; the baseline key must span all of
+    those invocations without pretending they are one parseable grid.
+    """
+
+    GRID = "--app adpcm --kb 2 --policy fifo lru"
+    EXTRA = "--app adpcm --kb 2 --tenants 2 --sched priority"
+
+    def test_union_differs_from_either_segment(self, capsys):
+        union = _key(capsys, self.GRID, "--", self.EXTRA)
+        assert union != _key(capsys, self.GRID)
+        assert union != _key(capsys, self.EXTRA)
+
+    def test_segment_order_does_not_fork_the_key(self, capsys):
+        assert _key(capsys, self.GRID, "--", self.EXTRA) == \
+            _key(capsys, self.EXTRA, "--", self.GRID)
+
+    def test_duplicate_cells_across_segments_collapse(self, capsys):
+        # A cell described by two invocations lands in one cache entry,
+        # so it must count once in the fingerprint too.
+        assert _key(capsys, self.GRID, "--", self.GRID) == \
+            _key(capsys, self.GRID)
+
+    def test_separator_inside_a_quoted_string_splits_too(self, capsys):
+        # CI passes '"$A" -- "$B"'; a single pre-joined string must
+        # shell-split to the same segments.
+        assert _key(capsys, f"{self.GRID} -- {self.EXTRA}") == \
+            _key(capsys, self.GRID, "--", self.EXTRA)

@@ -18,15 +18,16 @@ Three guarantees over ``README.md`` and every ``docs/*.md``:
    must match ``repro.exp.spec.TRANSFERS``, every ``--format {...}``
    list must match ``repro.exp.report.FORMATS``, every ``--engine
    {...}`` list must match ``repro.sim.engine.ENGINES``, every
-   ``--bands {...}`` list must match ``repro.exp.diff.BANDS``, and
-   every ``--store {...}`` list must match
+   ``--bands {...}`` list must match ``repro.exp.diff.BANDS``, every
+   ``--sched {...}`` list must match ``repro.os.scheduler.SCHEDS``,
+   and every ``--store {...}`` list must match
    ``repro.exp.store.STORES`` exactly — adding a value without
    documenting it (or documenting one that does not exist) fails the
    job.
 4. **The CLI flag lists are current.**  Every option the parser
    defines on the :data:`DOCUMENTED_COMMANDS` subcommands (``sweep``,
-   ``serve``, ``worker``, ``submit``, ``merge``, ``migrate``,
-   ``history``, ``diff``) must be mentioned
+   ``record``, ``report``, ``serve``, ``worker``, ``submit``,
+   ``merge``, ``migrate``, ``history``, ``diff``) must be mentioned
    in README.md, and every inline-code flag the README mentions must
    exist on some ``repro`` subcommand — renaming or removing a flag
    without updating the docs fails the job (both directions).
@@ -58,6 +59,7 @@ from repro.exp.diff import BANDS  # noqa: E402
 from repro.exp.report import FORMATS  # noqa: E402
 from repro.exp.spec import TRANSFERS  # noqa: E402
 from repro.exp.store import STORES  # noqa: E402
+from repro.os.scheduler import SCHEDS  # noqa: E402
 from repro.sim.engine import ENGINES  # noqa: E402
 
 #: Markdown files the checker covers.
@@ -90,6 +92,8 @@ _ENGINE_LIST_RE = re.compile(r"--engine[ \t]*\n?[ \t]*\{([^}]*)\}")
 _BANDS_LIST_RE = re.compile(r"--bands[ \t]*\n?[ \t]*\{([^}]*)\}")
 #: A documented store-backend list: ``--store {json,sqlite}``.
 _STORE_LIST_RE = re.compile(r"--store[ \t]*\n?[ \t]*\{([^}]*)\}")
+#: A documented scheduling-policy list: ``--sched {rr,priority,wrr}``.
+_SCHED_LIST_RE = re.compile(r"--sched[ \t]*\n?[ \t]*\{([^}]*)\}")
 #: An inline-code span (fenced blocks are stripped before scanning).
 _CODE_SPAN_RE = re.compile(r"`([^`]+)`")
 #: A ``--flag`` token anywhere inside a span.
@@ -235,12 +239,19 @@ def check_store_kinds(path: Path) -> list[str]:
     )
 
 
+def check_scheds(path: Path) -> list[str]:
+    """Stale ``--sched {...}`` lists vs :data:`repro.os.scheduler.SCHEDS`."""
+    return _check_value_list(
+        path, _SCHED_LIST_RE, SCHEDS, "scheduling-policy"
+    )
+
+
 #: Subcommands whose full flag set must be documented in README.md
 #: (the coverage direction; the stale-mention direction covers every
 #: subcommand automatically).
 DOCUMENTED_COMMANDS = (
-    "sweep", "serve", "worker", "submit", "merge", "migrate", "history",
-    "diff",
+    "sweep", "record", "report", "serve", "worker", "submit", "merge",
+    "migrate", "history", "diff",
 )
 
 
@@ -346,6 +357,7 @@ def main() -> int:
         failures += check_engines(path)
         failures += check_bands(path)
         failures += check_store_kinds(path)
+        failures += check_scheds(path)
         if name != "README.md":
             # README gets the full two-direction check below; other
             # docs get the stale-mention direction only.
@@ -358,6 +370,7 @@ def main() -> int:
         failures += check_engines(REPO_ROOT / name)
         failures += check_bands(REPO_ROOT / name)
         failures += check_store_kinds(REPO_ROOT / name)
+        failures += check_scheds(REPO_ROOT / name)
     for failure in failures:
         print(f"FAIL {failure}")
     print(

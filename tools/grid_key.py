@@ -16,7 +16,18 @@ debuggability) starts a fresh one.  CI uses it to key the
 ``actions/cache`` entries the PR regression gate restores.
 
 Arguments are the sweep axis flags, as separate argv entries or as one
-quoted string (both spellings shell-split identically).
+quoted string (both spellings shell-split identically).  A design
+space built from *several* sweep invocations into one cache (the CI
+smoke grid plus its extra scheduling/trace cells) is keyed by joining
+the flag strings with a literal ``--`` separator::
+
+    PYTHONPATH=src python tools/grid_key.py "$SMOKE_GRID" -- \
+        "$SMOKE_SCHED_CELL" -- "$SMOKE_TRACE_CELL"
+
+Each segment is parsed as its own grid and the fingerprint covers the
+de-duplicated union of the expanded cells, so segment order cannot
+fork the lineage either.  Note a trace segment resolves its digest
+from the trace file, which therefore must exist (record it first).
 """
 
 from __future__ import annotations
@@ -36,15 +47,35 @@ from repro.exp.spec import (  # noqa: E402
 )
 
 
+def _split_segments(tokens: list[str]) -> list[list[str]]:
+    """Split the token stream on literal ``--`` separators."""
+    segments: list[list[str]] = [[]]
+    for token in tokens:
+        if token == "--":
+            segments.append([])
+        else:
+            segments[-1].append(token)
+    return [segment for segment in segments if segment]
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     tokens = [token for arg in argv for token in shlex.split(arg)]
-    if not tokens:
-        print("usage: grid_key.py SWEEP_FLAGS...", file=sys.stderr)
+    segments = _split_segments(tokens)
+    if not segments:
+        print("usage: grid_key.py SWEEP_FLAGS [-- SWEEP_FLAGS]...",
+              file=sys.stderr)
         return 2
-    args = build_parser().parse_args(["sweep", *tokens])
-    spec = spec_from_args(args)
-    cells = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
+    cells = []
+    seen = set()
+    for segment in segments:
+        args = build_parser().parse_args(["sweep", *segment])
+        spec = spec_from_args(args)
+        expanded = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
+        for cell in expanded:
+            if cell.key() not in seen:
+                seen.add(cell.key())
+                cells.append(cell)
     print(f"v{CACHE_VERSION}-{grid_fingerprint(cells)}")
     return 0
 
